@@ -1,0 +1,337 @@
+package icebergcube
+
+// One benchmark per table/figure of the paper's evaluation (regenerating
+// its series at a bench-friendly scale), plus the algorithm-level and
+// ablation benches DESIGN.md calls out. Run:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/cubebench prints the same series as tables; EXPERIMENTS.md records
+// the full-scale numbers.
+
+import (
+	"fmt"
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/core"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/exp"
+	"icebergcube/internal/gen"
+	"icebergcube/internal/online"
+	"icebergcube/internal/relation"
+	"icebergcube/internal/seq"
+)
+
+const benchTuples = 8000
+
+func benchConfig() exp.Config { return exp.Config{Tuples: benchTuples} }
+
+func runExpBench(b *testing.B, f func(exp.Config) (*exp.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- the paper's tables and figures ---
+
+func BenchmarkTable1_1_Features(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tbl := exp.Table1_1(); len(tbl.Notes) != 4 {
+			b.Fatal("features table incomplete")
+		}
+	}
+}
+
+func BenchmarkFig3_6_IO(b *testing.B)          { runExpBench(b, exp.Fig3_6) }
+func BenchmarkFig4_1_Load(b *testing.B)        { runExpBench(b, exp.Fig4_1) }
+func BenchmarkFig4_2_Scalability(b *testing.B) { runExpBench(b, exp.Fig4_2) }
+
+func BenchmarkFig4_3_ProblemSize(b *testing.B) {
+	runExpBench(b, func(c exp.Config) (*exp.Table, error) {
+		c.Tuples = benchTuples / 2 // the sweep multiplies up to 5.66×
+		return exp.Fig4_3(c)
+	})
+}
+
+func BenchmarkFig4_4_Dimensions(b *testing.B) {
+	runExpBench(b, func(c exp.Config) (*exp.Table, error) {
+		c.Tuples = benchTuples / 2 // 13 dimensions = 8192 cuboids
+		return exp.Fig4_4(c)
+	})
+}
+
+func BenchmarkFig4_5_MinSup(b *testing.B)     { runExpBench(b, exp.Fig4_5) }
+func BenchmarkFig4_6_Sparseness(b *testing.B) { runExpBench(b, exp.Fig4_6) }
+func BenchmarkSec5_1_Materialize(b *testing.B) {
+	runExpBench(b, exp.Sec5_1)
+}
+
+func BenchmarkFig5_3_POLScalability(b *testing.B) {
+	runExpBench(b, func(c exp.Config) (*exp.Table, error) {
+		c.Tuples = 10 * benchTuples
+		return exp.Fig5_3(c)
+	})
+}
+
+func BenchmarkFig5_4_BufferSize(b *testing.B) {
+	runExpBench(b, func(c exp.Config) (*exp.Table, error) {
+		c.Tuples = 10 * benchTuples
+		return exp.Fig5_4(c)
+	})
+}
+
+func BenchmarkFig4_7_Recipe(b *testing.B) {
+	profiles := []Profile{
+		{Tuples: 176631, Dims: 9, CardinalityProduct: 1e13},
+		{Tuples: 176631, Dims: 9, CardinalityProduct: 1e7},
+		{Tuples: 176631, Dims: 4, CardinalityProduct: 1e6},
+		{Tuples: 176631, Dims: 13, CardinalityProduct: 1e21},
+		{Tuples: 176631, Dims: 9, MemoryConstrained: true},
+		{Tuples: 1000000, Dims: 12, OnlineRefinement: true},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, p := range profiles {
+			if rec := Recommend(p); rec.Reason == "" {
+				b.Fatal("recommendation without reason")
+			}
+		}
+	}
+}
+
+// --- per-algorithm benches on the baseline workload ---
+
+func benchWorkload(b *testing.B) (*relation.Relation, []int) {
+	b.Helper()
+	rel := gen.Weather(benchTuples, 2001)
+	return rel, gen.PickDimsByProduct(rel, 9, 13)
+}
+
+func BenchmarkAlgorithm(b *testing.B) {
+	rel, dims := benchWorkload(b)
+	for _, name := range exp.CubeAlgorithms {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run := core.Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Workers: 8, Seed: 1}
+				var err error
+				switch name {
+				case "RP":
+					_, err = core.RP(run)
+				case "BPP":
+					_, err = core.BPP(run)
+				case "ASL":
+					_, err = core.ASL(run)
+				case "PT":
+					_, err = core.PT(run)
+				case "AHT":
+					_, err = core.AHT(run)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSequential compares the Chapter 2 baselines plus BUC on one
+// in-memory workload (the substrate ablation: top-down vs bottom-up).
+func BenchmarkSequential(b *testing.B) {
+	rel := gen.Weather(benchTuples, 2001)
+	dims := gen.PickDimsByProduct(rel, 7, 10)
+	cond := agg.MinSupport(2)
+	algos := []struct {
+		name string
+		run  func(ctr *cost.Counters, out *disk.Writer)
+	}{
+		{"BUC", func(ctr *cost.Counters, out *disk.Writer) { core.BUC(rel, dims, cond, out, ctr) }},
+		{"PipeSort", func(ctr *cost.Counters, out *disk.Writer) { seq.PipeSort(rel, dims, cond, out, ctr) }},
+		{"PipeHash", func(ctr *cost.Counters, out *disk.Writer) { seq.PipeHash(rel, dims, cond, out, ctr) }},
+		{"Overlap", func(ctr *cost.Counters, out *disk.Writer) { seq.Overlap(rel, dims, cond, out, ctr) }},
+		{"MemoryCube", func(ctr *cost.Counters, out *disk.Writer) { seq.MemoryCube(rel, dims, cond, out, ctr) }},
+		{"PartitionedCube", func(ctr *cost.Counters, out *disk.Writer) {
+			seq.PartitionedCube(rel, dims, cond, benchTuples/4, out, ctr)
+		}},
+	}
+	for _, a := range algos {
+		b.Run(a.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var ctr cost.Counters
+				a.run(&ctr, disk.NewWriter(&ctr, nil))
+			}
+		})
+	}
+}
+
+// --- ablations DESIGN.md calls out ---
+
+// BenchmarkAblationPTGranularity sweeps PT's division-stop parameter (the
+// paper's "32n" knob): few coarse tasks (more pruning, worse balance) vs
+// many fine tasks (ASL-like granularity).
+func BenchmarkAblationPTGranularity(b *testing.B) {
+	rel, dims := benchWorkload(b)
+	for _, ratio := range []int{1, 4, 32, 128} {
+		b.Run(fmt.Sprintf("ratio%d", ratio), func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.PT(core.Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Workers: 8, TaskRatio: ratio, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = rep.Makespan
+			}
+			b.ReportMetric(makespan, "sim-sec")
+		})
+	}
+}
+
+// BenchmarkAblationASLAffinity quantifies §3.3.2's sort sharing: ASL with
+// affinity scheduling vs every-cuboid-from-scratch.
+func BenchmarkAblationASLAffinity(b *testing.B) {
+	rel, dims := benchWorkload(b)
+	for _, na := range []bool{false, true} {
+		name := "affinity"
+		if na {
+			name = "scratch"
+		}
+		b.Run(name, func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.ASL(core.Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Workers: 8, NoAffinity: na, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = rep.Makespan
+			}
+			b.ReportMetric(makespan, "sim-sec")
+		})
+	}
+}
+
+// BenchmarkAblationExtendedAffinity measures the §4.9.2 ASL improvement:
+// longest-shared-prefix scheduling plus sorted bulk-loading of scratch
+// builds, against baseline ASL.
+func BenchmarkAblationExtendedAffinity(b *testing.B) {
+	rel, dims := benchWorkload(b)
+	for _, ext := range []bool{false, true} {
+		name := "baseline"
+		if ext {
+			name = "extended"
+		}
+		b.Run(name, func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.ASL(core.Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Workers: 8, Seed: 1, ExtendedAffinity: ext})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = rep.Makespan
+			}
+			b.ReportMetric(makespan, "sim-sec")
+		})
+	}
+}
+
+// BenchmarkAblationMixedHash measures the §4.9.2 AHT improvement: the
+// multiplicative mixing hash against the paper's naive MOD hash, on the
+// skewed workload where MOD suffers.
+func BenchmarkAblationMixedHash(b *testing.B) {
+	rel, dims := benchWorkload(b)
+	for _, mixed := range []bool{false, true} {
+		name := "naiveMOD"
+		if mixed {
+			name = "mixed"
+		}
+		b.Run(name, func(b *testing.B) {
+			var collisions int64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.AHT(core.Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Workers: 8, Seed: 1, MixedHash: mixed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				collisions = rep.Totals().Collisions
+			}
+			b.ReportMetric(float64(collisions), "collisions")
+		})
+	}
+}
+
+// BenchmarkAblationAHTWidth sweeps AHT's fixed index width — the tradeoff
+// §3.5.2 describes between memory occupation and collision rate.
+func BenchmarkAblationAHTWidth(b *testing.B) {
+	rel, dims := benchWorkload(b)
+	for _, bits := range []int{8, 11, 14, 17} {
+		b.Run(fmt.Sprintf("bits%d", bits), func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.AHTWithBits(core.Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Workers: 8, Seed: 1}, bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = rep.Makespan
+			}
+			b.ReportMetric(makespan, "sim-sec")
+		})
+	}
+}
+
+// BenchmarkAblationWriting isolates depth-first vs breadth-first writing on
+// the same sequential computation (BUC vs BPP-BUC over the full tree).
+func BenchmarkAblationWriting(b *testing.B) {
+	rel, dims := benchWorkload(b)
+	cond := agg.MinSupport(2)
+	b.Run("depth-first", func(b *testing.B) {
+		var seeks int64
+		for i := 0; i < b.N; i++ {
+			var ctr cost.Counters
+			core.BUC(rel, dims, cond, disk.NewWriter(&ctr, nil), &ctr)
+			seeks = ctr.Seeks
+		}
+		b.ReportMetric(float64(seeks), "seeks")
+	})
+	b.Run("breadth-first", func(b *testing.B) {
+		var seeks int64
+		for i := 0; i < b.N; i++ {
+			rep, err := core.BPP(core.Run{Rel: rel, Dims: dims, Cond: cond, Workers: 1, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			seeks = rep.Totals().Seeks
+		}
+		b.ReportMetric(float64(seeks), "seeks")
+	})
+}
+
+// BenchmarkPOL measures one full online aggregation.
+func BenchmarkPOL(b *testing.B) {
+	rel := gen.Weather(10*benchTuples, 7)
+	dims := gen.PickDimsByProduct(rel, 12, 16)
+	for i := 0; i < b.N; i++ {
+		if _, err := online.Run(online.Query{
+			Rel: rel, Dims: dims,
+			Cond:    agg.MinSupport(2),
+			Workers: 8, BufferTuples: 8000, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacadeCompute measures the public API end to end.
+func BenchmarkFacadeCompute(b *testing.B) {
+	ds := SyntheticWeather(benchTuples, 2001)
+	dims := ds.PickDimsByCardinalityProduct(9, 13)
+	for i := 0; i < b.N; i++ {
+		res, err := Compute(ds, Query{Dims: dims, MinSupport: 2, Workers: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NumCells() == 0 {
+			b.Fatal("empty cube")
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command cubebench regenerates every table and figure of the paper's
+// evaluation (the per-experiment index lives in DESIGN.md) and prints the
+// series as aligned text — the data recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	cubebench                  # all experiments at a reduced size
+//	cubebench -full            # the paper's full workload sizes (slow)
+//	cubebench -exp fig4.2      # one experiment
+//	cubebench -tuples 50000    # custom size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"icebergcube/internal/exp"
+)
+
+type experiment struct {
+	id  string
+	run func(exp.Config) (*exp.Table, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1.1", func(exp.Config) (*exp.Table, error) { return exp.Table1_1(), nil }},
+		{"fig3.6", exp.Fig3_6},
+		{"fig4.1", exp.Fig4_1},
+		{"fig4.2", exp.Fig4_2},
+		{"fig4.3", exp.Fig4_3},
+		{"fig4.4", exp.Fig4_4},
+		{"fig4.5", exp.Fig4_5},
+		{"fig4.6", exp.Fig4_6},
+		{"sec5.1", exp.Sec5_1},
+		{"fig5.3", exp.Fig5_3},
+		{"fig5.4", exp.Fig5_4},
+	}
+}
+
+func main() {
+	var (
+		which  = flag.String("exp", "all", "experiment id (table1.1, fig3.6, fig4.1..fig4.6, sec5.1, fig5.3, fig5.4) or 'all'")
+		tuples = flag.Int("tuples", 20000, "CUBE data-set size (POL experiments scale it 5×)")
+		full   = flag.Bool("full", false, "use the paper's full sizes (176,631 CUBE / 1,000,000 POL); slow")
+		seed   = flag.Int64("seed", 2001, "workload seed")
+	)
+	flag.Parse()
+
+	c := exp.Config{Tuples: *tuples, Seed: *seed}
+	if *full {
+		c.Tuples = 0 // defaults to the paper's sizes per experiment
+	}
+	ran := 0
+	for _, e := range experiments() {
+		if *which != "all" && !strings.EqualFold(*which, e.id) {
+			continue
+		}
+		cfg := c
+		if strings.HasPrefix(e.id, "fig5") && !*full {
+			cfg.Tuples = 5 * *tuples
+		}
+		tbl, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cubebench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl.Format())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "cubebench: unknown experiment %q\n", *which)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,46 @@
+// Command cubegen generates the synthetic weather-like data set the
+// experiments run on (the stand-in for the paper's weather-station
+// relation) and writes it as CSV.
+//
+// Usage:
+//
+//	cubegen -tuples 176631 -seed 2001 -out weather.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	icebergcube "icebergcube"
+)
+
+func main() {
+	var (
+		tuples = flag.Int("tuples", 176631, "number of tuples (paper baseline: 176631; POL: 1000000)")
+		seed   = flag.Int64("seed", 2001, "generator seed")
+		out    = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	ds := icebergcube.SyntheticWeather(*tuples, *seed)
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cubegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := ds.WriteCSV(w, "measure"); err != nil {
+		fmt.Fprintln(os.Stderr, "cubegen:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "cubegen:", err)
+		os.Exit(1)
+	}
+}

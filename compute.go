@@ -1,0 +1,270 @@
+package icebergcube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/core"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/results"
+)
+
+// Algorithm selects one of the paper's parallel iceberg-cube algorithms.
+type Algorithm string
+
+// The five algorithms of Chapters 3–4.
+const (
+	// RP — Replicated Parallel BUC: simplest, depth-first writing, weak
+	// load balance (§3.1).
+	RP Algorithm = "RP"
+	// BPP — Breadth-first writing, Partitioned, Parallel BUC: the
+	// memory-lean choice (§3.2).
+	BPP Algorithm = "BPP"
+	// ASL — Affinity SkipList: cuboid-granularity tasks in skip lists,
+	// strongest load balance, supports online refinement (§3.3).
+	ASL Algorithm = "ASL"
+	// PT — Partitioned Tree: binary-divided BUC subtrees with affinity
+	// scheduling; the paper's recommended default (§3.4).
+	PT Algorithm = "PT"
+	// AHT — Affinity Hash Table: ASL's scheduling over a collapsible
+	// bit-packed hash table; shines on dense cubes (§3.5.2).
+	AHT Algorithm = "AHT"
+)
+
+// Algorithms lists the five selectable algorithms.
+func Algorithms() []Algorithm { return []Algorithm{RP, BPP, ASL, PT, AHT} }
+
+// Query describes one iceberg-cube computation.
+type Query struct {
+	// Dims names the cube dimensions (nil = all data-set dimensions).
+	Dims []string
+	// MinSupport is the iceberg threshold: HAVING COUNT(*) >= MinSupport
+	// (default 1 = full cube).
+	MinSupport int64
+	// MinSum, when positive, replaces the count condition with
+	// HAVING SUM(measure) >= MinSum.
+	MinSum float64
+	// Algorithm selects the parallel algorithm (default PT, the paper's
+	// recommendation).
+	Algorithm Algorithm
+	// Workers is the cluster size (default 8, the paper's baseline).
+	Workers int
+	// Parallel executes workers on real goroutines instead of the
+	// deterministic virtual-time runner. Results are identical; virtual
+	// timing stays deterministic only without it.
+	Parallel bool
+	// Seed fixes skip-list coin flips (default 1).
+	Seed int64
+}
+
+// Cell is one qualifying output cell.
+type Cell struct {
+	// Attrs and Values give the GROUP BY attributes and this cell's
+	// values for them, in the cube's dimension order. The "all" cell has
+	// both empty.
+	Attrs  []string
+	Values []string
+	// Count, Sum, Min, Max and Avg are the cell's aggregates over the
+	// measure.
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Avg   float64
+}
+
+// Result is a computed iceberg cube.
+type Result struct {
+	ds    *Dataset
+	dims  []int
+	set   *results.Set
+	attrs []string
+
+	// Algorithm that produced the cube.
+	Algorithm Algorithm
+	// Makespan is the simulated completion time in seconds (the time the
+	// slowest simulated processor finished).
+	Makespan float64
+	// WorkerLoads is each simulated processor's busy time in seconds.
+	WorkerLoads []float64
+	// CellsWritten counts all qualifying cells across all cuboids.
+	CellsWritten int64
+	// BytesWritten is the simulated output volume.
+	BytesWritten int64
+}
+
+// Compute runs the query on the data set.
+func Compute(ds *Dataset, q Query) (*Result, error) {
+	dims, err := ds.resolveDims(q.Dims)
+	if err != nil {
+		return nil, err
+	}
+	var cond agg.Condition
+	switch {
+	case q.MinSum > 0:
+		cond = agg.MinSum(q.MinSum)
+	case q.MinSupport > 0:
+		cond = agg.MinSupport(q.MinSupport)
+	default:
+		cond = agg.MinSupport(1)
+	}
+	if q.Algorithm == "" {
+		q.Algorithm = PT
+	}
+	if q.Workers <= 0 {
+		q.Workers = 8
+	}
+	if q.Seed == 0 {
+		q.Seed = 1
+	}
+	set := results.NewSet()
+	run := core.Run{
+		Rel:      ds.rel,
+		Dims:     dims,
+		Cond:     cond,
+		Workers:  q.Workers,
+		Cluster:  cost.BaselineCluster(q.Workers),
+		Sink:     set,
+		Parallel: q.Parallel,
+		Seed:     q.Seed,
+	}
+	var rep *core.Report
+	switch q.Algorithm {
+	case RP:
+		rep, err = core.RP(run)
+	case BPP:
+		rep, err = core.BPP(run)
+	case ASL:
+		rep, err = core.ASL(run)
+	case PT:
+		rep, err = core.PT(run)
+	case AHT:
+		rep, err = core.AHT(run)
+	default:
+		return nil, fmt.Errorf("icebergcube: unknown algorithm %q", q.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]string, len(dims))
+	for i, d := range dims {
+		attrs[i] = ds.rel.Name(d)
+	}
+	tot := rep.Totals()
+	return &Result{
+		ds:           ds,
+		dims:         dims,
+		set:          set,
+		attrs:        attrs,
+		Algorithm:    q.Algorithm,
+		Makespan:     rep.Makespan,
+		WorkerLoads:  rep.Loads(),
+		CellsWritten: tot.CellsWritten,
+		BytesWritten: tot.BytesWritten,
+	}, nil
+}
+
+// NumCells returns the total number of qualifying cells.
+func (r *Result) NumCells() int { return r.set.NumCells() }
+
+// NumCuboids returns the number of non-empty group-bys (out of 2^d).
+func (r *Result) NumCuboids() int { return r.set.NumCuboids() }
+
+// maskFor resolves a GROUP BY attribute list to a cuboid mask.
+func (r *Result) maskFor(groupBy []string) (lattice.Mask, []int, error) {
+	var mask lattice.Mask
+	pos := make([]int, 0, len(groupBy))
+	for _, name := range groupBy {
+		found := -1
+		for i, a := range r.attrs {
+			if a == name {
+				found = i
+			}
+		}
+		if found < 0 {
+			return 0, nil, fmt.Errorf("icebergcube: %q is not a cube dimension of this result", name)
+		}
+		mask |= 1 << uint(found)
+		pos = append(pos, found)
+	}
+	return mask, pos, nil
+}
+
+// Cuboid returns the qualifying cells of one group-by, sorted by value
+// tuple. An empty groupBy returns the "all" cell.
+func (r *Result) Cuboid(groupBy ...string) ([]Cell, error) {
+	mask, _, err := r.maskFor(groupBy)
+	if err != nil {
+		return nil, err
+	}
+	raw := r.set.Cuboid(mask)
+	pos := mask.Dims()
+	attrs := make([]string, len(pos))
+	for i, p := range pos {
+		attrs[i] = r.attrs[p]
+	}
+	cells := make([]Cell, 0, len(raw))
+	keys := make([]string, 0, len(raw))
+	for k := range raw {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := raw[k]
+		codes := results.DecodeKey(k)
+		values := make([]string, len(codes))
+		for i, c := range codes {
+			values[i] = r.ds.decode(r.dims[pos[i]], c)
+		}
+		cells = append(cells, Cell{
+			Attrs:  attrs,
+			Values: values,
+			Count:  st.Count,
+			Sum:    st.Value(agg.Sum),
+			Min:    st.Value(agg.Min),
+			Max:    st.Value(agg.Max),
+			Avg:    st.Value(agg.Avg),
+		})
+	}
+	return cells, nil
+}
+
+// Get returns the cell of a group-by with specific values (decoded
+// strings), or false if it did not qualify.
+func (r *Result) Get(groupBy []string, values []string) (Cell, bool, error) {
+	if len(groupBy) != len(values) {
+		return Cell{}, false, fmt.Errorf("icebergcube: %d attributes but %d values", len(groupBy), len(values))
+	}
+	cells, err := r.Cuboid(groupBy...)
+	if err != nil {
+		return Cell{}, false, err
+	}
+	for _, c := range cells {
+		match := true
+		for i := range values {
+			if c.Values[i] != values[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c, true, nil
+		}
+	}
+	return Cell{}, false, nil
+}
+
+// String renders a cell compactly, e.g. "(Model=Chevy, Year=1990): count=3 sum=154".
+func (c Cell) String() string {
+	if len(c.Attrs) == 0 {
+		return fmt.Sprintf("(ALL): count=%d sum=%g", c.Count, c.Sum)
+	}
+	parts := make([]string, len(c.Attrs))
+	for i := range c.Attrs {
+		parts[i] = c.Attrs[i] + "=" + c.Values[i]
+	}
+	return fmt.Sprintf("(%s): count=%d sum=%g", strings.Join(parts, ", "), c.Count, c.Sum)
+}

@@ -1,0 +1,47 @@
+// Online: POL's progressive refinement (Chapter 5) — an iceberg group-by
+// over a data set treated as too large for memory, answered instantly from
+// samples and refined step by step until exact.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	icebergcube "icebergcube"
+)
+
+func main() {
+	// Stand-in for the paper's 1,000,000-tuple weather relation.
+	ds := icebergcube.SyntheticWeather(200000, 7)
+	dims := ds.PickDimsByCardinalityProduct(6, 5)
+	fmt.Printf("online query: GROUP BY %v HAVING COUNT(*) >= 50, 8 workers, 8000-tuple buffers\n\n", dims)
+
+	fmt.Println("  step  processed   cells-so-far   est-qualifying   sim-elapsed")
+	res, err := icebergcube.ComputeOnline(ds, icebergcube.OnlineQuery{
+		Dims:         dims,
+		MinSupport:   50,
+		Workers:      8,
+		BufferTuples: 8000,
+		OnProgress: func(p icebergcube.OnlineProgress) {
+			// Each snapshot is what the user's screen shows while the
+			// query runs: the estimate sharpens as the fraction grows.
+			if p.Step <= 3 || p.Step%4 == 0 || p.Fraction == 1 {
+				fmt.Printf("  %4d     %5.1f%%   %12d   %14d   %9.2fs\n",
+					p.Step, 100*p.Fraction, p.Cells, p.QualifyingCells, p.VirtualSeconds)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nexact answer after %d steps (simulated %.2fs): %d qualifying cells\n",
+		res.Steps, res.Makespan, len(res.Cells))
+	for i, c := range res.Cells {
+		if i == 5 {
+			fmt.Printf("  ... %d more\n", len(res.Cells)-5)
+			break
+		}
+		fmt.Printf("  %s\n", c)
+	}
+}

@@ -1,0 +1,92 @@
+// Retail: the CUBE operator on the SALES relation of Gray et al. (the
+// paper's Fig 2.2), plus the drill-down / roll-up conversation of §2.1 —
+// all answered from one precomputed cube.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	icebergcube "icebergcube"
+)
+
+func main() {
+	models := []string{"Chevy", "Ford"}
+	years := []string{"1990", "1991", "1992"}
+	colors := []string{"red", "white", "blue"}
+	sales := []float64{
+		5, 87, 62, 54, 95, 49, 31, 54, 71, // Chevy
+		64, 62, 63, 52, 9, 55, 27, 62, 39, // Ford
+	}
+	var rows [][]string
+	i := 0
+	var measures []float64
+	for _, m := range models {
+		for _, y := range years {
+			for _, c := range colors {
+				rows = append(rows, []string{m, y, c})
+				measures = append(measures, sales[i])
+				i++
+			}
+		}
+	}
+	ds, err := icebergcube.FromRows([]string{"Model", "Year", "Color"}, rows, measures)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// CUBE BY Model, Year, Color — all 2^3 group-bys at once.
+	cube, err := icebergcube.Compute(ds, icebergcube.Query{Algorithm: icebergcube.ASL, Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CUBE of SALES: %d cells across %d group-bys\n\n", cube.NumCells(), cube.NumCuboids())
+
+	all, _ := cube.Cuboid()
+	fmt.Printf("grand total: %s\n\n", all[0])
+
+	fmt.Println("GROUP BY Model (roll-up):")
+	cells, _ := cube.Cuboid("Model")
+	for _, c := range cells {
+		fmt.Printf("  %s\n", c)
+	}
+
+	fmt.Println("\nGROUP BY Model, Year (drill-down):")
+	cells, _ = cube.Cuboid("Model", "Year")
+	for _, c := range cells {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// The cross-tab of Fig 2.3: Model × Color.
+	fmt.Println("\ncross-tab Model × Color:")
+	fmt.Printf("%10s", "")
+	for _, col := range colors {
+		fmt.Printf("%8s", col)
+	}
+	fmt.Printf("%8s\n", "total")
+	for _, m := range models {
+		fmt.Printf("%10s", m)
+		for _, col := range colors {
+			cell, ok, _ := cube.Get([]string{"Model", "Color"}, []string{m, col})
+			if ok {
+				fmt.Printf("%8g", cell.Sum)
+			} else {
+				fmt.Printf("%8s", "-")
+			}
+		}
+		rowTotal, _, _ := cube.Get([]string{"Model"}, []string{m})
+		fmt.Printf("%8g\n", rowTotal.Sum)
+	}
+
+	// An iceberg restriction on the same data: only (Year, Color) pairs
+	// with sales of at least 140 survive.
+	iceberg, err := icebergcube.Compute(ds, icebergcube.Query{MinSum: 140, Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\niceberg: GROUP BY Year, Color HAVING SUM(Sales) >= 140:")
+	cells, _ = iceberg.Cuboid("Year", "Color")
+	for _, c := range cells {
+		fmt.Printf("  %s\n", c)
+	}
+}

@@ -1,0 +1,3 @@
+module icebergcube
+
+go 1.22

@@ -1,0 +1,160 @@
+// Package agg implements the aggregate functions the cube computes and the
+// iceberg HAVING conditions that prune cells, following the classification
+// of Gray et al. (distributive, algebraic, holistic) reviewed in §2.2 of the
+// paper.
+//
+// Every cell carries a State: a tuple count plus a small fixed set of
+// distributive component values (sum/min/max). Distributive and algebraic
+// functions are all answerable from that state, and two states covering
+// disjoint tuple sets combine with Merge — the property BPP and POL rely on
+// to union partial cuboids computed on different processors.
+package agg
+
+import "math"
+
+// Kind classifies an aggregate function per Gray et al.
+type Kind int
+
+const (
+	// Distributive functions satisfy F(T) = G({F(Si)}) for a partition
+	// {Si} of T (SUM, COUNT, MIN, MAX).
+	Distributive Kind = iota
+	// Algebraic functions are computable from an M-tuple of distributive
+	// components (AVG from sum and count).
+	Algebraic
+	// Holistic functions (MEDIAN, RANK) admit no constant-size summary;
+	// the library exposes the classification but the cube algorithms
+	// restrict themselves to non-holistic functions, as the paper does.
+	Holistic
+)
+
+// Func identifies an aggregate function over the measure column.
+type Func int
+
+const (
+	Count Func = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+// String returns the SQL-ish name of the function.
+func (f Func) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Avg:
+		return "AVG"
+	}
+	return "UNKNOWN"
+}
+
+// Kind reports the Gray et al. classification of f.
+func (f Func) Kind() Kind {
+	if f == Avg {
+		return Algebraic
+	}
+	return Distributive
+}
+
+// State is the constant-size summary kept per cell. It is sufficient for
+// every non-holistic Func and merges across disjoint partitions.
+type State struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// NewState returns the identity state (zero tuples).
+func NewState() State {
+	return State{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Add folds one measure value into the state.
+func (s *State) Add(measure float64) {
+	s.Count++
+	s.Sum += measure
+	if measure < s.Min {
+		s.Min = measure
+	}
+	if measure > s.Max {
+		s.Max = measure
+	}
+}
+
+// Merge folds another state (over a disjoint tuple set) into s.
+func (s *State) Merge(o State) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Value evaluates f over the state. Avg of an empty state is NaN.
+func (s State) Value(f Func) float64 {
+	switch f {
+	case Count:
+		return float64(s.Count)
+	case Sum:
+		return s.Sum
+	case Min:
+		return s.Min
+	case Max:
+		return s.Max
+	case Avg:
+		if s.Count == 0 {
+			return math.NaN()
+		}
+		return s.Sum / float64(s.Count)
+	}
+	return math.NaN()
+}
+
+// Condition is an iceberg HAVING predicate over a cell's aggregate state.
+// The paper focuses on HAVING COUNT(*) >= minsup; other monotone conditions
+// plug in through this interface.
+type Condition interface {
+	// Holds reports whether a cell with state s belongs in the output.
+	Holds(s State) bool
+	// PrunePartition reports whether a partition of n input tuples can be
+	// skipped entirely: no cell derived from a subset of the partition can
+	// satisfy the condition. BUC-style pruning requires this to be
+	// anti-monotone (true ⇒ true for all subsets).
+	PrunePartition(n int64) bool
+}
+
+// MinSupport is the HAVING COUNT(*) >= N condition from the paper.
+type MinSupport int64
+
+// Holds reports whether the cell's tuple count reaches the threshold.
+func (m MinSupport) Holds(s State) bool { return s.Count >= int64(m) }
+
+// PrunePartition prunes partitions smaller than the threshold; count is
+// anti-monotone so this is safe.
+func (m MinSupport) PrunePartition(n int64) bool { return n < int64(m) }
+
+// MinSum is HAVING SUM(measure) >= T for non-negative measures; with
+// non-negative measures the sum is anti-monotone in the partition, so
+// partitions whose total falls below T can be pruned. PrunePartition here
+// only uses the tuple count lower bound of zero, so it never prunes — the
+// algorithms instead call HoldsPartitionSum where they track sums.
+type MinSum float64
+
+// Holds reports whether the cell's measure sum reaches the threshold.
+func (m MinSum) Holds(s State) bool { return s.Sum >= float64(m) }
+
+// PrunePartition never prunes on count alone (sums are not derivable from
+// tuple counts).
+func (m MinSum) PrunePartition(int64) bool { return false }

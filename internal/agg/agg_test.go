@@ -1,0 +1,156 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestStateMergeEqualsCombinedAdd: the distributive/algebraic property of
+// Gray et al. that BPP and POL rely on — F over a partition's merged states
+// equals F over the union.
+func TestStateMergeEqualsCombinedAdd(t *testing.T) {
+	f := func(seed int64, split uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(split)%64
+		cut := rng.Intn(n + 1)
+		a, b, all := NewState(), NewState(), NewState()
+		for i := 0; i < n; i++ {
+			v := float64(rng.Intn(2001) - 1000)
+			if i < cut {
+				a.Add(v)
+			} else {
+				b.Add(v)
+			}
+			all.Add(v)
+		}
+		a.Merge(b)
+		if a.Count != all.Count {
+			return false
+		}
+		if math.Abs(a.Sum-all.Sum) > 1e-9 {
+			return false
+		}
+		return a.Min == all.Min && a.Max == all.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValueFunctions evaluates all Funcs against hand computations.
+func TestValueFunctions(t *testing.T) {
+	s := NewState()
+	for _, v := range []float64{3, -1, 10, 4} {
+		s.Add(v)
+	}
+	cases := []struct {
+		f    Func
+		want float64
+	}{
+		{Count, 4}, {Sum, 16}, {Min, -1}, {Max, 10}, {Avg, 4},
+	}
+	for _, c := range cases {
+		if got := s.Value(c.f); got != c.want {
+			t.Errorf("%s = %g, want %g", c.f, got, c.want)
+		}
+	}
+}
+
+// TestEmptyState: identities behave (±Inf extremes, NaN average).
+func TestEmptyState(t *testing.T) {
+	s := NewState()
+	if s.Count != 0 || !math.IsInf(s.Min, 1) || !math.IsInf(s.Max, -1) {
+		t.Fatalf("empty state %+v", s)
+	}
+	if !math.IsNaN(s.Value(Avg)) {
+		t.Fatal("Avg of empty state should be NaN")
+	}
+	o := NewState()
+	o.Add(5)
+	s.Merge(o)
+	if s.Count != 1 || s.Min != 5 || s.Max != 5 {
+		t.Fatalf("merge into empty state: %+v", s)
+	}
+}
+
+// TestMergeIdentity: merging an empty state is a no-op.
+func TestMergeIdentity(t *testing.T) {
+	s := NewState()
+	s.Add(1)
+	s.Add(9)
+	before := s
+	s.Merge(NewState())
+	if s != before {
+		t.Fatalf("merging the identity changed the state: %+v", s)
+	}
+}
+
+// TestKinds pins the Gray et al. classification.
+func TestKinds(t *testing.T) {
+	for _, f := range []Func{Count, Sum, Min, Max} {
+		if f.Kind() != Distributive {
+			t.Errorf("%s should be distributive", f)
+		}
+	}
+	if Avg.Kind() != Algebraic {
+		t.Error("AVG should be algebraic")
+	}
+	if Func(99).String() != "UNKNOWN" {
+		t.Error("unknown func name")
+	}
+	if Func(99).Kind() != Distributive {
+		// Unknown funcs default conservatively; just exercise the path.
+		t.Skip()
+	}
+}
+
+// TestMinSupport: Holds ⇔ count ≥ N; PrunePartition is its anti-monotone
+// complement.
+func TestMinSupport(t *testing.T) {
+	m := MinSupport(3)
+	s := NewState()
+	for i := 0; i < 5; i++ {
+		if got, want := m.Holds(s), int64(i) >= 3; got != want {
+			t.Fatalf("count %d: Holds = %v", i, got)
+		}
+		if got, want := m.PrunePartition(int64(i)), int64(i) < 3; got != want {
+			t.Fatalf("count %d: PrunePartition = %v", i, got)
+		}
+		s.Add(1)
+	}
+}
+
+// TestMinSupportAntiMonotone: if a partition prunes, every sub-partition
+// prunes too — the property BUC's recursion depends on.
+func TestMinSupportAntiMonotone(t *testing.T) {
+	f := func(threshold uint8, n uint8, sub uint8) bool {
+		m := MinSupport(int64(threshold))
+		big, small := int64(n), int64(sub)
+		if small > big {
+			big, small = small, big
+		}
+		return !m.PrunePartition(big) || m.PrunePartition(small)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinSum: Holds on sums; never prunes on counts alone.
+func TestMinSum(t *testing.T) {
+	m := MinSum(10)
+	s := NewState()
+	s.Add(4)
+	if m.Holds(s) {
+		t.Fatal("4 < 10")
+	}
+	s.Add(7)
+	if !m.Holds(s) {
+		t.Fatal("11 >= 10")
+	}
+	if m.PrunePartition(0) || m.PrunePartition(1000000) {
+		t.Fatal("MinSum must not prune on tuple counts")
+	}
+}

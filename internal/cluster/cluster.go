@@ -1,0 +1,209 @@
+// Package cluster simulates the paper's PC cluster. Workers stand in for
+// cluster nodes; a Scheduler stands in for the manager process that hands
+// out tasks on demand (§3.3.2). Two runners execute the same scheduler:
+//
+//   - RunVirtual is a deterministic event loop — the worker with the
+//     smallest virtual clock requests its next task, the task executes for
+//     real, and the worker's clock advances by the cost-model time of the
+//     operations the task performed. This mirrors MPI demand scheduling
+//     exactly (the least-loaded worker asks first) while making every
+//     experiment reproducible and independent of the host's core count.
+//
+//   - RunParallel executes the same tasks on one goroutine per worker for
+//     genuine parallelism, still accounting virtual time for reporting.
+//
+// Both report per-worker Counters and virtual clocks; the makespan (max
+// clock) is the "wall clock" the paper's figures plot.
+package cluster
+
+import (
+	"sync"
+
+	"icebergcube/internal/cost"
+)
+
+// Task is one schedulable unit of work.
+type Task struct {
+	// Label names the task for traces and tests (e.g. "cuboid A,B,C").
+	Label string
+	// Run executes the task on the given worker.
+	Run func(w *Worker)
+}
+
+// Worker models one cluster node.
+type Worker struct {
+	// ID is the worker's rank, 0-based.
+	ID int
+	// Machine is the hardware spec the cost model charges against.
+	Machine cost.Machine
+	// Ctr accumulates the operations this worker performed.
+	Ctr cost.Counters
+	// Clock is the worker's virtual time in seconds.
+	Clock float64
+	// Tasks counts tasks executed.
+	Tasks int
+	// State carries algorithm-specific per-worker context (kept skip
+	// lists, previous sort order, local disk chunks).
+	State any
+}
+
+// Advance charges the counter delta since snapshot to the worker's clock
+// and returns the consumed breakdown.
+func (w *Worker) Advance(snapshot cost.Counters) cost.Breakdown {
+	delta := w.Ctr.Sub(snapshot)
+	b := w.Machine.Time(delta)
+	w.Clock += b.Total()
+	return b
+}
+
+// Sleep advances the worker's clock without performing work (used to model
+// waiting for a remote chunk or a synchronization barrier).
+func (w *Worker) Sleep(seconds float64) { w.Clock += seconds }
+
+// Scheduler hands out tasks on demand. Implementations see which worker is
+// asking (and its State) so they can apply affinity. Next returns nil when
+// the worker should stop.
+type Scheduler interface {
+	Next(w *Worker) *Task
+}
+
+// NewWorkers builds n workers on the given cluster spec, invoking setup
+// (may be nil) on each.
+func NewWorkers(cl cost.Cluster, n int, setup func(w *Worker)) []*Worker {
+	ws := make([]*Worker, n)
+	for i := range ws {
+		ws[i] = &Worker{ID: i, Machine: cl.Machine(i)}
+		if setup != nil {
+			setup(ws[i])
+		}
+	}
+	return ws
+}
+
+// RunVirtual drives the scheduler to completion in deterministic virtual
+// time and returns the workers with their final clocks and counters.
+func RunVirtual(workers []*Worker, sched Scheduler) {
+	done := make([]bool, len(workers))
+	remaining := len(workers)
+	for remaining > 0 {
+		// Pick the live worker with the smallest clock (ties to the
+		// lowest ID) — the one whose task request reaches the manager
+		// first.
+		min := -1
+		for i, w := range workers {
+			if done[i] {
+				continue
+			}
+			if min < 0 || w.Clock < workers[min].Clock {
+				min = i
+			}
+		}
+		w := workers[min]
+		t := sched.Next(w)
+		if t == nil {
+			done[min] = true
+			remaining--
+			continue
+		}
+		snap := w.Ctr
+		t.Run(w)
+		w.Tasks++
+		w.Advance(snap)
+	}
+}
+
+// RunParallel drives the scheduler with one goroutine per worker. Virtual
+// clocks are still maintained (guarded per worker; the scheduler is called
+// under a global mutex, like a single manager process).
+func RunParallel(workers []*Worker, sched Scheduler) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				t := sched.Next(w)
+				mu.Unlock()
+				if t == nil {
+					return
+				}
+				snap := w.Ctr
+				t.Run(w)
+				w.Tasks++
+				w.Advance(snap)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Makespan returns the maximum virtual clock across workers — the paper's
+// "wall clock time" (the time the slowest processor finishes).
+func Makespan(workers []*Worker) float64 {
+	max := 0.0
+	for _, w := range workers {
+		if w.Clock > max {
+			max = w.Clock
+		}
+	}
+	return max
+}
+
+// Loads returns each worker's virtual clock, for the load-distribution
+// experiment (Fig 4.1).
+func Loads(workers []*Worker) []float64 {
+	out := make([]float64, len(workers))
+	for i, w := range workers {
+		out[i] = w.Clock
+	}
+	return out
+}
+
+// TotalCounters sums all workers' counters.
+func TotalCounters(workers []*Worker) cost.Counters {
+	var total cost.Counters
+	for _, w := range workers {
+		total.Add(w.Ctr)
+	}
+	return total
+}
+
+// QueueScheduler is a static per-worker task list (RP and BPP): each worker
+// consumes its own queue; there is no stealing, matching the paper's static
+// round-robin assignment.
+type QueueScheduler struct {
+	mu     sync.Mutex
+	queues [][]*Task
+}
+
+// NewQueueScheduler builds a scheduler with one queue per worker.
+func NewQueueScheduler(n int) *QueueScheduler {
+	return &QueueScheduler{queues: make([][]*Task, n)}
+}
+
+// Assign appends a task to worker w's queue.
+func (s *QueueScheduler) Assign(w int, t *Task) {
+	s.queues[w] = append(s.queues[w], t)
+}
+
+// AssignRoundRobin spreads tasks over the n workers in order.
+func (s *QueueScheduler) AssignRoundRobin(tasks []*Task) {
+	for i, t := range tasks {
+		s.Assign(i%len(s.queues), t)
+	}
+}
+
+// Next implements Scheduler.
+func (s *QueueScheduler) Next(w *Worker) *Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[w.ID]
+	if len(q) == 0 {
+		return nil
+	}
+	t := q[0]
+	s.queues[w.ID] = q[1:]
+	return t
+}

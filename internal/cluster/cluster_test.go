@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"icebergcube/internal/cost"
+)
+
+func workTask(units int64) *Task {
+	return &Task{Label: "work", Run: func(w *Worker) {
+		w.Ctr.Compares += units
+	}}
+}
+
+// TestVirtualDemandScheduling: with one slow task and many small ones, the
+// virtual runner must route small tasks to the free workers — the
+// least-loaded worker always asks next.
+func TestVirtualDemandScheduling(t *testing.T) {
+	tasks := []*Task{workTask(1e6)}
+	for i := 0; i < 10; i++ {
+		tasks = append(tasks, workTask(1e5))
+	}
+	sched := &poolScheduler{tasks: tasks}
+	workers := NewWorkers(cost.BaselineCluster(2), 2, nil)
+	RunVirtual(workers, sched)
+	// Ideal split: one worker takes the 1e6 task, the other all ten 1e5
+	// tasks — perfectly balanced.
+	if workers[0].Tasks == 11 || workers[1].Tasks == 11 {
+		t.Fatalf("demand scheduling failed: task counts %d/%d", workers[0].Tasks, workers[1].Tasks)
+	}
+	l := Loads(workers)
+	if l[0] == 0 || l[1] == 0 {
+		t.Fatalf("a worker idled: %v", l)
+	}
+	ratio := l[0] / l[1]
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("loads should balance: %v", l)
+	}
+}
+
+// poolScheduler hands out tasks in order to whoever asks.
+type poolScheduler struct {
+	mu    sync.Mutex
+	tasks []*Task
+}
+
+func (s *poolScheduler) Next(w *Worker) *Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tasks) == 0 {
+		return nil
+	}
+	t := s.tasks[0]
+	s.tasks = s.tasks[1:]
+	return t
+}
+
+// TestVirtualDeterminism: identical runs produce identical clocks.
+func TestVirtualDeterminism(t *testing.T) {
+	build := func() []float64 {
+		var tasks []*Task
+		for i := 0; i < 20; i++ {
+			tasks = append(tasks, workTask(int64(1000*(i%7+1))))
+		}
+		sched := &poolScheduler{tasks: tasks}
+		workers := NewWorkers(cost.BaselineCluster(4), 4, nil)
+		RunVirtual(workers, sched)
+		return Loads(workers)
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic clocks: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestParallelRunsEverything: the goroutine runner executes every task
+// exactly once across workers.
+func TestParallelRunsEverything(t *testing.T) {
+	var executed atomic.Int64
+	var tasks []*Task
+	for i := 0; i < 100; i++ {
+		tasks = append(tasks, &Task{Run: func(w *Worker) {
+			executed.Add(1)
+			w.Ctr.Compares += 10
+		}})
+	}
+	sched := &poolScheduler{tasks: tasks}
+	workers := NewWorkers(cost.BaselineCluster(8), 8, nil)
+	RunParallel(workers, sched)
+	if executed.Load() != 100 {
+		t.Fatalf("executed %d of 100 tasks", executed.Load())
+	}
+	total := 0
+	for _, w := range workers {
+		total += w.Tasks
+	}
+	if total != 100 {
+		t.Fatalf("task counts sum to %d", total)
+	}
+}
+
+// TestQueueScheduler: static per-worker queues; round-robin spreads evenly;
+// no stealing.
+func TestQueueScheduler(t *testing.T) {
+	sched := NewQueueScheduler(3)
+	var tasks []*Task
+	for i := 0; i < 7; i++ {
+		tasks = append(tasks, workTask(100))
+	}
+	sched.AssignRoundRobin(tasks)
+	workers := NewWorkers(cost.BaselineCluster(3), 3, nil)
+	RunVirtual(workers, sched)
+	if workers[0].Tasks != 3 || workers[1].Tasks != 2 || workers[2].Tasks != 2 {
+		t.Fatalf("round robin gave %d/%d/%d", workers[0].Tasks, workers[1].Tasks, workers[2].Tasks)
+	}
+}
+
+// TestHeterogeneousClocks: the same work takes longer on a slower machine.
+func TestHeterogeneousClocks(t *testing.T) {
+	cl := cost.Cluster{Name: "mixed", Machines: []cost.Machine{cost.PIII500(), cost.PII266()}}
+	sched := NewQueueScheduler(2)
+	sched.Assign(0, workTask(1e6))
+	sched.Assign(1, workTask(1e6))
+	workers := NewWorkers(cl, 2, nil)
+	RunVirtual(workers, sched)
+	if workers[1].Clock <= workers[0].Clock {
+		t.Fatalf("PII-266 (%.4f) should be slower than PIII-500 (%.4f)", workers[1].Clock, workers[0].Clock)
+	}
+}
+
+// TestMakespanAndTotals: reporting helpers.
+func TestMakespanAndTotals(t *testing.T) {
+	workers := NewWorkers(cost.BaselineCluster(3), 3, nil)
+	workers[0].Clock = 1
+	workers[2].Clock = 5
+	if Makespan(workers) != 5 {
+		t.Fatalf("Makespan = %v", Makespan(workers))
+	}
+	workers[0].Ctr.CellsWritten = 3
+	workers[1].Ctr.CellsWritten = 4
+	if TotalCounters(workers).CellsWritten != 7 {
+		t.Fatal("TotalCounters wrong")
+	}
+}
+
+// TestSleepAndAdvance: clock helpers.
+func TestSleepAndAdvance(t *testing.T) {
+	w := &Worker{Machine: cost.PIII500()}
+	w.Sleep(2.5)
+	if w.Clock != 2.5 {
+		t.Fatalf("Sleep: clock %v", w.Clock)
+	}
+	snap := w.Ctr
+	w.Ctr.Compares += 8_000_000 // one second of compares on PIII-500
+	b := w.Advance(snap)
+	if b.CPU <= 0.9 || b.CPU >= 1.1 {
+		t.Fatalf("Advance CPU = %v, want ≈1s", b.CPU)
+	}
+	if w.Clock <= 2.5 {
+		t.Fatal("Advance did not move the clock")
+	}
+}
+
+// TestWorkerSetup: the setup callback runs per worker.
+func TestWorkerSetup(t *testing.T) {
+	workers := NewWorkers(cost.BaselineCluster(4), 4, func(w *Worker) {
+		w.State = w.ID * 10
+	})
+	for i, w := range workers {
+		if w.State.(int) != i*10 {
+			t.Fatalf("worker %d state %v", i, w.State)
+		}
+	}
+}

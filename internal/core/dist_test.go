@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/mpi"
+	"icebergcube/internal/results"
+)
+
+// TestDistributedCubeMatchesNaive runs the MPI deployment over the
+// in-process transport: every rank computes its subtrees, cells gather at
+// rank 0, and the merged set equals the oracle.
+func TestDistributedCubeMatchesNaive(t *testing.T) {
+	rel := testRel(900, 5, 23)
+	dims := allDims(rel)
+	want := NaiveCube(rel, dims, agg.MinSupport(2))
+
+	for _, n := range []int{1, 2, 4} {
+		comms := mpi.NewLocalWorld(n)
+		totals := make([]int64, n)
+		var merged *results.Set
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				local := results.NewSet()
+				total, err := DistributedCube(comms[r], rel, dims, agg.MinSupport(2), local)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				totals[r] = total
+				m, err := GatherCells(comms[r], local)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if r == 0 {
+					merged = m
+				}
+			}(r)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.Fatalf("n=%d failed", n)
+		}
+		if diff := want.Diff(merged); diff != "" {
+			t.Fatalf("n=%d: gathered cube differs from naive: %s", n, diff)
+		}
+		for r := 1; r < n; r++ {
+			if totals[r] != totals[0] {
+				t.Fatalf("n=%d: all-reduced totals disagree: %v", n, totals)
+			}
+		}
+		if totals[0] != int64(want.NumCells()) {
+			t.Fatalf("n=%d: reduced total %d, oracle has %d cells", n, totals[0], want.NumCells())
+		}
+	}
+}
+
+// TestCellWireRoundTrip: the gather wire format is lossless.
+func TestCellWireRoundTrip(t *testing.T) {
+	src := NaiveCube(testRel(300, 4, 5), []int{0, 1, 2, 3}, agg.MinSupport(1))
+	buf := src.Encode()
+	dst := results.NewSet()
+	if err := dst.DecodeInto(buf); err != nil {
+		t.Fatal(err)
+	}
+	if diff := src.Diff(dst); diff != "" {
+		t.Fatalf("wire round trip lost cells: %s", diff)
+	}
+	// Truncated stream must error, not panic.
+	if len(buf) > 5 {
+		if err := results.NewSet().DecodeInto(buf[:len(buf)-3]); err == nil {
+			t.Fatal("truncated stream decoded without error")
+		}
+	}
+}

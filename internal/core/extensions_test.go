@@ -1,0 +1,100 @@
+package core
+
+// Tests for the §4.9.2 "further improvement" extensions: ASL's extended
+// (longest-shared-prefix) affinity and AHT's mixed hash function.
+
+import (
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/results"
+)
+
+// TestExtendedAffinityCorrect: the improved scheduler must not change the
+// answer, only the assignment order.
+func TestExtendedAffinityCorrect(t *testing.T) {
+	rel := testRel(800, 5, 31)
+	dims := allDims(rel)
+	want := NaiveCube(rel, dims, agg.MinSupport(2))
+	got := results.NewSet()
+	if _, err := ASL(Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Workers: 4, Sink: got, Seed: 3, ExtendedAffinity: true}); err != nil {
+		t.Fatal(err)
+	}
+	if diff := want.Diff(got); diff != "" {
+		t.Fatalf("extended-affinity ASL differs from naive: %s", diff)
+	}
+}
+
+// TestExtendedAffinityNoWorse: with many workers (where strict affinity
+// starves — the situation §3.3.2 describes), the improved scheduler should
+// not slow ASL down.
+func TestExtendedAffinityNoWorse(t *testing.T) {
+	rel := testRel(3000, 6, 17)
+	dims := allDims(rel)
+	base, err := ASL(Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Workers: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := ASL(Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Workers: 12, Seed: 3, ExtendedAffinity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Makespan > base.Makespan*1.05 {
+		t.Fatalf("extended affinity slowed ASL: %.3fs vs %.3fs", ext.Makespan, base.Makespan)
+	}
+}
+
+// TestMixedHashCorrect: AHT with the mixed hash still matches the oracle.
+func TestMixedHashCorrect(t *testing.T) {
+	rel := testRel(800, 5, 37)
+	dims := allDims(rel)
+	want := NaiveCube(rel, dims, agg.MinSupport(2))
+	got := results.NewSet()
+	if _, err := AHT(Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Workers: 4, Sink: got, Seed: 3, MixedHash: true}); err != nil {
+		t.Fatal(err)
+	}
+	if diff := want.Diff(got); diff != "" {
+		t.Fatalf("mixed-hash AHT differs from naive: %s", diff)
+	}
+}
+
+// TestMixedHashFewerCollisions: on skewed data the mixed hash must cut
+// bucket collisions versus the naive MOD hash — the effect §4.9.2 predicts.
+func TestMixedHashFewerCollisions(t *testing.T) {
+	rel := testRel(5000, 6, 41)
+	dims := allDims(rel)
+	naive, err := AHT(Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Workers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := AHT(Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Workers: 4, Seed: 3, MixedHash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, mc := naive.Totals().Collisions, mixed.Totals().Collisions
+	if mc >= nc {
+		t.Fatalf("mixed hash did not reduce collisions: %d vs naive %d", mc, nc)
+	}
+}
+
+// TestASLSchedulerAffinityModes traces the manager's decisions on a small
+// lattice: with one worker, after the first scratch build every remaining
+// cuboid must come from prefix reuse or subset creation — never from
+// another raw-data scan.
+func TestASLSchedulerAffinityModes(t *testing.T) {
+	rel := testRel(500, 4, 13)
+	dims := allDims(rel)
+	rep, err := ASL(Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(1), Workers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One worker: 1 "all" task + 15 cuboids. The first cuboid scans the
+	// raw data (500 tuples); affinity must keep every later build off the
+	// raw data, so total tuple scans stay far below 16 × 500.
+	scans := rep.Totals().TuplesScanned
+	// Budget: all-cell (500) + first build (500) + 14 affinity builds
+	// over ≤500-cell lists each.
+	if scans > 500*10 {
+		t.Fatalf("ASL re-scanned raw data despite affinity: %d tuple scans", scans)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/hashtree"
+	"icebergcube/internal/results"
+)
+
+// TestHashTreeCubeMatchesNaive verifies the Apriori-style algorithm on
+// small inputs where its memory appetite is affordable.
+func TestHashTreeCubeMatchesNaive(t *testing.T) {
+	for _, sh := range []struct {
+		tuples, dims int
+		minsup       int64
+	}{
+		{150, 3, 2},
+		{300, 4, 2},
+		{300, 4, 5},
+		{200, 5, 3},
+		{100, 3, 1},
+	} {
+		rel := testRel(sh.tuples, sh.dims, int64(7*sh.tuples+sh.dims))
+		dims := allDims(rel)
+		want := NaiveCube(rel, dims, agg.MinSupport(sh.minsup))
+		got := results.NewSet()
+		var ctr cost.Counters
+		if err := HashTreeCube(rel, dims, sh.minsup, 0, disk.NewWriter(&ctr, got), &ctr); err != nil {
+			t.Fatalf("HashTreeCube(%+v): %v", sh, err)
+		}
+		if diff := want.Diff(got); diff != "" {
+			t.Fatalf("HashTreeCube(%+v) differs from naive: %s", sh, diff)
+		}
+	}
+}
+
+// TestHashTreeCubeMemoryExhaustion reproduces the paper's finding: under a
+// realistic memory budget the candidate tree blows up on wider, sparser
+// inputs and the algorithm fails cleanly rather than completing.
+func TestHashTreeCubeMemoryExhaustion(t *testing.T) {
+	rel := testRel(2000, 8, 99)
+	dims := allDims(rel)
+	var ctr cost.Counters
+	err := HashTreeCube(rel, dims, 2, 64<<10, disk.NewWriter(&ctr, nil), &ctr)
+	if err == nil {
+		t.Fatal("expected memory exhaustion on a wide input with a 64KiB candidate budget")
+	}
+	if !errors.Is(err, hashtree.ErrMemoryExhausted) {
+		t.Fatalf("error should wrap ErrMemoryExhausted, got: %v", err)
+	}
+}

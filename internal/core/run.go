@@ -1,0 +1,181 @@
+// Package core implements the paper's contribution: the parallel
+// iceberg-cube algorithms RP, BPP, ASL, PT and AHT (Chapter 3), the
+// sequential BUC kernels they share, and the hash-tree algorithm (§3.5.1).
+// All algorithms compute the same iceberg cube — every cell of every
+// group-by of the chosen dimensions whose aggregate state satisfies the
+// iceberg condition — and differ, exactly as in Table 1.1, in writing
+// strategy, task definition, load balancing, lattice traversal direction,
+// and data decomposition.
+package core
+
+import (
+	"fmt"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cluster"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
+)
+
+// Run specifies one iceberg-cube computation on the (simulated) cluster.
+type Run struct {
+	// Rel is the input relation; Dims selects and orders the cube
+	// dimensions (indices into Rel). Cuboid masks use positions within
+	// Dims: bit i ⇔ Dims[i].
+	Rel  *relation.Relation
+	Dims []int
+	// Cond is the iceberg condition (HAVING); typically agg.MinSupport.
+	Cond agg.Condition
+	// Workers is the number of cluster nodes to use.
+	Workers int
+	// Cluster supplies machine specs; defaults to the paper's baseline
+	// PIII-500/Ethernet nodes.
+	Cluster cost.Cluster
+	// Sink optionally receives every emitted cell (tests attach a
+	// results.Set); nil discards cells after accounting them.
+	Sink disk.CellSink
+	// Parallel selects the goroutine-per-worker runner instead of the
+	// deterministic virtual-time runner.
+	Parallel bool
+	// Seed feeds the skip lists' level coins and any sampling.
+	Seed int64
+	// TaskRatio is PT's tasks-per-worker division stop parameter; the
+	// paper uses 32 (§3.4).
+	TaskRatio int
+	// NoAffinity disables ASL's prefix/subset affinity (every cuboid is
+	// built from the raw data) — an ablation knob quantifying how much
+	// §3.3.2's sort sharing buys.
+	NoAffinity bool
+	// ExtendedAffinity enables the §4.9.2 improvement: when neither
+	// prefix nor subset affinity applies, ASL hands out the remaining
+	// cuboid with the longest shared sort prefix (instead of simply the
+	// largest), folding Overlap's sort-order overlap into the scheduler.
+	ExtendedAffinity bool
+	// MixedHash enables the §4.9.2 AHT improvement: a multiplicative
+	// mixing hash over the whole key instead of the naive MOD
+	// (bit-concatenation) hash, reducing bucket collisions on skewed
+	// data.
+	MixedHash bool
+}
+
+func (r *Run) normalize() error {
+	if r.Rel == nil {
+		return fmt.Errorf("core: Run.Rel is nil")
+	}
+	if len(r.Dims) == 0 {
+		return fmt.Errorf("core: Run.Dims is empty")
+	}
+	if len(r.Dims) > lattice.MaxDims {
+		return fmt.Errorf("core: %d cube dimensions exceeds the supported maximum %d", len(r.Dims), lattice.MaxDims)
+	}
+	seen := make(map[int]bool)
+	for _, d := range r.Dims {
+		if d < 0 || d >= r.Rel.NumDims() {
+			return fmt.Errorf("core: cube dimension %d out of range (relation has %d)", d, r.Rel.NumDims())
+		}
+		if seen[d] {
+			return fmt.Errorf("core: cube dimension %d listed twice", d)
+		}
+		seen[d] = true
+	}
+	if r.Cond == nil {
+		r.Cond = agg.MinSupport(1)
+	}
+	if r.Workers <= 0 {
+		r.Workers = 1
+	}
+	if len(r.Cluster.Machines) == 0 {
+		r.Cluster = cost.BaselineCluster(r.Workers)
+	}
+	if r.TaskRatio <= 0 {
+		r.TaskRatio = 32
+	}
+	return nil
+}
+
+// Report summarizes one computation: per-worker virtual clocks and
+// counters, and the makespan (the paper's "wall clock": the time the
+// slowest processor finishes).
+type Report struct {
+	Algorithm string
+	Workers   []*cluster.Worker
+	Makespan  float64
+}
+
+// Loads returns per-worker virtual clocks (Fig 4.1).
+func (r *Report) Loads() []float64 { return cluster.Loads(r.Workers) }
+
+// Totals sums all workers' counters.
+func (r *Report) Totals() cost.Counters { return cluster.TotalCounters(r.Workers) }
+
+// IOSeconds returns the summed simulated disk time across workers — the
+// quantity Fig 3.6 compares between RP (depth-first writing) and BPP
+// (breadth-first writing).
+func (r *Report) IOSeconds() float64 {
+	total := 0.0
+	for _, w := range r.Workers {
+		total += w.Machine.Time(w.Ctr).Disk
+	}
+	return total
+}
+
+// WriteIOSeconds returns the summed simulated disk time spent *writing the
+// cuboids* (output bytes plus stream-switch seeks) — exactly the quantity
+// Fig 3.6 plots, excluding data-set reads.
+func (r *Report) WriteIOSeconds() float64 {
+	total := 0.0
+	for _, w := range r.Workers {
+		m := w.Machine
+		total += float64(w.Ctr.BytesWritten)/m.DiskBytesPerSec + float64(w.Ctr.Seeks)*m.DiskSeekSec
+	}
+	return total
+}
+
+// CPUSeconds returns the summed simulated CPU time across workers.
+func (r *Report) CPUSeconds() float64 {
+	total := 0.0
+	for _, w := range r.Workers {
+		total += w.Machine.Time(w.Ctr).CPU
+	}
+	return total
+}
+
+// NetSeconds returns the summed simulated network time across workers.
+func (r *Report) NetSeconds() float64 {
+	total := 0.0
+	for _, w := range r.Workers {
+		total += w.Machine.Time(w.Ctr).Net
+	}
+	return total
+}
+
+// run drives the scheduler with the configured runner.
+func (r *Run) run(workers []*cluster.Worker, sched cluster.Scheduler) {
+	if r.Parallel {
+		cluster.RunParallel(workers, sched)
+	} else {
+		cluster.RunVirtual(workers, sched)
+	}
+}
+
+// writeAll aggregates the full input and writes the "all" cell (mask 0),
+// which every algorithm handles outside its task decomposition (§3's
+// simplifying note). It runs on worker 0.
+func writeAll(rel *relation.Relation, view []int32, cond agg.Condition, out *disk.Writer, ctr *cost.Counters) {
+	st := agg.NewState()
+	for _, row := range view {
+		st.Add(rel.Measure(int(row)))
+	}
+	ctr.TuplesScanned += int64(len(view))
+	if cond.Holds(st) {
+		out.WriteCell(0, nil, st)
+	}
+}
+
+// chargeLoad accounts a worker's one-time read of its (replicated) copy of
+// the data set.
+func chargeLoad(w *cluster.Worker, rel *relation.Relation) {
+	w.Ctr.BytesRead += rel.SizeBytes()
+}

@@ -1,0 +1,125 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestAddSubRoundTrip: Add and Sub are inverses field by field.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b Counters) bool {
+		sum := a
+		sum.Add(b)
+		return sum.Sub(b) == a && sum.Sub(a) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimeMonotone: more work never costs less time.
+func TestTimeMonotone(t *testing.T) {
+	m := PIII500()
+	f := func(a, extra Counters) bool {
+		a = clampNonNegative(a)
+		extra = clampNonNegative(extra)
+		more := a
+		more.Add(extra)
+		return m.Time(more).Total() >= m.Time(a).Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clampNonNegative(c Counters) Counters {
+	n := func(v int64) int64 {
+		if v < 0 {
+			return -v % (1 << 30)
+		}
+		return v % (1 << 30)
+	}
+	return Counters{
+		TuplesScanned: n(c.TuplesScanned),
+		Compares:      n(c.Compares),
+		HashOps:       n(c.HashOps),
+		Collisions:    n(c.Collisions),
+		CellsWritten:  n(c.CellsWritten),
+		BytesWritten:  n(c.BytesWritten),
+		Seeks:         n(c.Seeks),
+		BytesRead:     n(c.BytesRead),
+		BytesSent:     n(c.BytesSent),
+		Messages:      n(c.Messages),
+	}
+}
+
+// TestTimeBreakdown: each resource lands in its own bucket.
+func TestTimeBreakdown(t *testing.T) {
+	m := PIII500()
+	cpu := m.Time(Counters{Compares: 1 << 20})
+	if cpu.CPU <= 0 || cpu.Disk != 0 || cpu.Net != 0 {
+		t.Fatalf("compares should be pure CPU: %+v", cpu)
+	}
+	io := m.Time(Counters{BytesWritten: 1 << 20, Seeks: 100})
+	if io.Disk <= 0 || io.CPU != 0 || io.Net != 0 {
+		t.Fatalf("writes should be pure disk: %+v", io)
+	}
+	net := m.Time(Counters{BytesSent: 1 << 20, Messages: 10})
+	if net.Net <= 0 || net.CPU != 0 || net.Disk != 0 {
+		t.Fatalf("sends should be pure network: %+v", net)
+	}
+	if got := cpu.Total() + io.Total() + net.Total(); got <= 0 {
+		t.Fatal("totals must be positive")
+	}
+}
+
+// TestMachineContrasts pins the testbed relationships the experiments rely
+// on: PII-266 is CPU-slower than PIII-500; Myrinet is network-faster than
+// Ethernet at identical CPU speed.
+func TestMachineContrasts(t *testing.T) {
+	work := Counters{TuplesScanned: 1 << 20, Compares: 1 << 22}
+	if PII266().Time(work).CPU <= PIII500().Time(work).CPU {
+		t.Fatal("PII-266 should be slower than PIII-500")
+	}
+	comm := Counters{BytesSent: 1 << 24, Messages: 1000}
+	if PII266Myrinet().Time(comm).Net >= PII266().Time(comm).Net {
+		t.Fatal("Myrinet should beat Ethernet")
+	}
+	if PII266Myrinet().Time(work).CPU != PII266().Time(work).CPU {
+		t.Fatal("the Myrinet nodes have the same CPUs")
+	}
+}
+
+// TestClusterMapping: homogeneous clusters repeat one machine; worker→
+// machine mapping wraps round-robin.
+func TestClusterMapping(t *testing.T) {
+	cl := Homogeneous("test", PIII500(), 4)
+	if len(cl.Machines) != 4 {
+		t.Fatalf("%d machines", len(cl.Machines))
+	}
+	hetero := Cluster{Name: "h", Machines: []Machine{PIII500(), PII266()}}
+	if hetero.Machine(0).Name != PIII500().Name || hetero.Machine(1).Name != PII266().Name {
+		t.Fatal("direct mapping wrong")
+	}
+	if hetero.Machine(2).Name != PIII500().Name {
+		t.Fatal("round-robin wrap wrong")
+	}
+	if BaselineCluster(3).Machines[2].Name != PIII500().Name {
+		t.Fatal("baseline cluster should be PIII-500s")
+	}
+}
+
+// TestCPUOpsWeights: every counter contributes.
+func TestCPUOpsWeights(t *testing.T) {
+	base := CPUOps(Counters{})
+	if base != 0 {
+		t.Fatal("zero counters cost nonzero ops")
+	}
+	for _, c := range []Counters{
+		{TuplesScanned: 1}, {Compares: 1}, {HashOps: 1}, {Collisions: 1}, {CellsWritten: 1},
+	} {
+		if CPUOps(c) <= 0 {
+			t.Fatalf("counter %+v not weighted", c)
+		}
+	}
+}

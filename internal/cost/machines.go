@@ -1,0 +1,42 @@
+package cost
+
+// Reference machines matching the paper's testbed (§4.2, §5.4.1). The
+// absolute constants are calibrated so the baseline configuration lands in
+// the paper's tens-of-seconds range; only relative behaviour is asserted by
+// the experiments.
+
+// PIII500 models the 500 MHz Pentium III / 256 MB nodes on 100 Mbit
+// Ethernet.
+func PIII500() Machine {
+	return Machine{
+		Name:            "PIII-500/Ethernet",
+		CPUOpsPerSec:    8e6,
+		DiskBytesPerSec: 10e6,
+		DiskSeekSec:     20e-6,
+		NetBytesPerSec:  12.5e6,
+		NetLatencySec:   100e-6,
+	}
+}
+
+// PII266 models the 266 MHz Pentium II / 128 MB nodes on 100 Mbit Ethernet.
+func PII266() Machine {
+	m := PIII500()
+	m.Name = "PII-266/Ethernet"
+	m.CPUOpsPerSec = 8e6 * 266 / 500
+	return m
+}
+
+// PII266Myrinet is the PII-266 node on Myrinet, which the paper describes
+// as roughly three times faster than its Ethernet.
+func PII266Myrinet() Machine {
+	m := PII266()
+	m.Name = "PII-266/Myrinet"
+	m.NetBytesPerSec = 3 * 12.5e6
+	m.NetLatencySec = 10e-6
+	return m
+}
+
+// BaselineCluster is the paper's baseline: the eight 500 MHz processors.
+func BaselineCluster(n int) Cluster {
+	return Homogeneous("PIII-500 x Ethernet", PIII500(), n)
+}

@@ -1,0 +1,67 @@
+// Package disk simulates the per-node local disks the algorithms write
+// cuboids to. The one property that matters for the paper's I/O results
+// (Fig 3.6) is *where* consecutive cells land: depth-first writers (BUC/RP)
+// interleave cells of many cuboids, paying an output-stream switch almost
+// every write, while breadth-first writers (BPP/ASL/PT/AHT) finish one
+// cuboid before starting the next and pay one switch per cuboid. The
+// simulated writer therefore charges a seek whenever the target cuboid of a
+// write differs from the previous write's cuboid, and bytes for every cell.
+package disk
+
+import (
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/lattice"
+)
+
+// CellSink receives iceberg cells as the algorithms emit them. key holds
+// the cell's value for each GROUP BY attribute of cuboid m, in ascending
+// dimension order.
+type CellSink interface {
+	WriteCell(m lattice.Mask, key []uint32, st agg.State)
+}
+
+// cellHeaderBytes approximates the fixed per-record output size (aggregate
+// value, support count, separators) on top of 4 bytes per key element.
+const cellHeaderBytes = 16
+
+// CellBytes returns the simulated encoded size of one cell record.
+func CellBytes(keyLen int) int64 { return int64(4*keyLen) + cellHeaderBytes }
+
+// Writer is the simulated local-disk cuboid writer: it accounts bytes,
+// cells, and cuboid-switch seeks into a worker's Counters and forwards the
+// cells to an optional downstream sink (tests attach a collector; benches
+// attach nothing).
+type Writer struct {
+	ctr  *cost.Counters
+	next CellSink
+
+	last    lattice.Mask
+	started bool
+}
+
+// NewWriter returns a writer charging I/O to ctr and forwarding cells to
+// next (next may be nil).
+func NewWriter(ctr *cost.Counters, next CellSink) *Writer {
+	return &Writer{ctr: ctr, next: next}
+}
+
+// WriteCell records one cell.
+func (w *Writer) WriteCell(m lattice.Mask, key []uint32, st agg.State) {
+	if !w.started || m != w.last {
+		w.ctr.Seeks++
+		w.last = m
+		w.started = true
+	}
+	w.ctr.CellsWritten++
+	w.ctr.BytesWritten += CellBytes(len(key))
+	if w.next != nil {
+		w.next.WriteCell(m, key, st)
+	}
+}
+
+// Discard is a CellSink that drops everything (pure benchmarking).
+type Discard struct{}
+
+// WriteCell implements CellSink.
+func (Discard) WriteCell(lattice.Mask, []uint32, agg.State) {}

@@ -1,0 +1,82 @@
+package disk
+
+import (
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/lattice"
+)
+
+// TestSeekPerCuboidSwitch is the heart of Fig 3.6: interleaved (depth-first
+// order) writes pay a seek almost every cell; grouped (breadth-first order)
+// writes pay one per cuboid.
+func TestSeekPerCuboidSwitch(t *testing.T) {
+	st := agg.NewState()
+	st.Add(1)
+
+	var depth cost.Counters
+	w := NewWriter(&depth, nil)
+	for i := 0; i < 100; i++ {
+		w.WriteCell(lattice.MaskOf(0), []uint32{uint32(i)}, st)
+		w.WriteCell(lattice.MaskOf(0, 1), []uint32{uint32(i), 0}, st)
+		w.WriteCell(lattice.MaskOf(0, 1, 2), []uint32{uint32(i), 0, 0}, st)
+	}
+	if depth.Seeks != 300 {
+		t.Fatalf("interleaved writes: %d seeks, want 300", depth.Seeks)
+	}
+
+	var breadth cost.Counters
+	w = NewWriter(&breadth, nil)
+	for _, m := range []lattice.Mask{lattice.MaskOf(0), lattice.MaskOf(0, 1), lattice.MaskOf(0, 1, 2)} {
+		key := make([]uint32, m.Count())
+		for i := 0; i < 100; i++ {
+			key[0] = uint32(i)
+			w.WriteCell(m, key, st)
+		}
+	}
+	if breadth.Seeks != 3 {
+		t.Fatalf("grouped writes: %d seeks, want 3", breadth.Seeks)
+	}
+	if depth.CellsWritten != breadth.CellsWritten || depth.BytesWritten != breadth.BytesWritten {
+		t.Fatal("writing order must not change cells or bytes")
+	}
+}
+
+// TestBytesAccounting: bytes follow the record model.
+func TestBytesAccounting(t *testing.T) {
+	var ctr cost.Counters
+	w := NewWriter(&ctr, nil)
+	st := agg.NewState()
+	w.WriteCell(0, nil, st)
+	w.WriteCell(lattice.MaskOf(0, 1), []uint32{1, 2}, st)
+	want := CellBytes(0) + CellBytes(2)
+	if ctr.BytesWritten != want {
+		t.Fatalf("BytesWritten = %d, want %d", ctr.BytesWritten, want)
+	}
+	if ctr.CellsWritten != 2 {
+		t.Fatalf("CellsWritten = %d", ctr.CellsWritten)
+	}
+}
+
+// TestForwarding: cells pass through to the downstream sink unmodified;
+// Discard drops them.
+func TestForwarding(t *testing.T) {
+	var got []lattice.Mask
+	sink := sinkFunc(func(m lattice.Mask, key []uint32, st agg.State) {
+		got = append(got, m)
+	})
+	var ctr cost.Counters
+	w := NewWriter(&ctr, sink)
+	st := agg.NewState()
+	w.WriteCell(lattice.MaskOf(1), []uint32{5}, st)
+	w.WriteCell(lattice.MaskOf(2), []uint32{6}, st)
+	if len(got) != 2 || got[0] != lattice.MaskOf(1) || got[1] != lattice.MaskOf(2) {
+		t.Fatalf("forwarded masks %v", got)
+	}
+	Discard{}.WriteCell(0, nil, st) // must not panic
+}
+
+type sinkFunc func(lattice.Mask, []uint32, agg.State)
+
+func (f sinkFunc) WriteCell(m lattice.Mask, key []uint32, st agg.State) { f(m, key, st) }

@@ -1,0 +1,170 @@
+// Package hashtree implements the Apriori-style candidate hash tree
+// (§3.5.1, Fig 3.12) used by the paper's hash-tree cube algorithm: interior
+// nodes hash on the item at their depth, leaves hold candidate itemsets and
+// split when they overflow. The subset operation streams a transaction's
+// items through the tree and visits every stored candidate that is a subset
+// of the transaction.
+//
+// The structure is memory-hungry by design — the paper reports the
+// algorithm built on it "used up memory too rapidly that it fails to
+// process large data sets" — so the tree tracks an approximate footprint
+// against a budget and reports exhaustion instead of thrashing.
+package hashtree
+
+import (
+	"errors"
+
+	"icebergcube/internal/cost"
+)
+
+// ErrMemoryExhausted is returned when inserting a candidate would exceed
+// the configured memory budget — the failure mode §3.5.1 describes.
+var ErrMemoryExhausted = errors.New("hashtree: candidate memory budget exhausted")
+
+// fanout is the hash width of interior nodes.
+const fanout = 8
+
+// leafCap is the number of candidates a leaf holds before splitting.
+const leafCap = 8
+
+// Candidate is one k-itemset under count, identified by its ascending item
+// ids. Count and Sum/Min/Max accumulate during the support-counting pass.
+type Candidate struct {
+	Items []int32
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+
+	// lastTID dedupes subset visits within one transaction: hash
+	// collisions can route a transaction to the same leaf along several
+	// descent paths.
+	lastTID int64
+}
+
+type node struct {
+	leaf       bool
+	candidates []int // indexes into Tree.Cands
+	children   [fanout]*node
+}
+
+// Tree is a candidate hash tree for itemsets of a fixed length k.
+type Tree struct {
+	K     int
+	Cands []*Candidate
+	root  *node
+	bytes int64
+	limit int64
+	ctr   *cost.Counters
+}
+
+// New returns an empty tree for k-itemsets with the given memory budget in
+// bytes (0 means unlimited).
+func New(k int, budget int64, ctr *cost.Counters) *Tree {
+	return &Tree{K: k, root: &node{leaf: true}, limit: budget, ctr: ctr}
+}
+
+// Len returns the number of stored candidates.
+func (t *Tree) Len() int { return len(t.Cands) }
+
+// SizeBytes returns the approximate footprint of candidates plus nodes.
+func (t *Tree) SizeBytes() int64 { return t.bytes }
+
+func hashItem(item int32) int { return int(uint32(item)) % fanout }
+
+// Insert adds a candidate (items ascending). It fails with
+// ErrMemoryExhausted when the budget would be exceeded.
+func (t *Tree) Insert(items []int32) error {
+	need := int64(4*len(items)) + 56
+	if t.limit > 0 && t.bytes+need > t.limit {
+		return ErrMemoryExhausted
+	}
+	c := &Candidate{Items: append([]int32(nil), items...), lastTID: -1}
+	idx := len(t.Cands)
+	t.Cands = append(t.Cands, c)
+	t.bytes += need
+	t.insertAt(t.root, idx, 0)
+	return nil
+}
+
+func (t *Tree) insertAt(n *node, idx, depth int) {
+	t.ctr.HashOps++
+	if n.leaf {
+		n.candidates = append(n.candidates, idx)
+		// Split when overfull and there are items left to hash on.
+		if len(n.candidates) > leafCap && depth < t.K {
+			n.leaf = false
+			t.bytes += fanout * 8
+			moved := n.candidates
+			n.candidates = nil
+			for _, m := range moved {
+				t.routeDown(n, m, depth)
+			}
+		}
+		return
+	}
+	t.routeDown(n, idx, depth)
+}
+
+func (t *Tree) routeDown(n *node, idx, depth int) {
+	h := hashItem(t.Cands[idx].Items[depth])
+	child := n.children[h]
+	if child == nil {
+		child = &node{leaf: true}
+		n.children[h] = child
+	}
+	t.insertAt(child, idx, depth+1)
+}
+
+// Subset visits every candidate that is a subset of the transaction's
+// items (ascending) exactly once and calls fn with it. tid must be unique
+// per transaction — it dedupes candidates reachable along multiple descent
+// paths. This is the root subset operation of Fig 3.12.
+func (t *Tree) Subset(items []int32, tid int64, fn func(c *Candidate)) {
+	t.subset(t.root, items, items, 0, tid, fn)
+}
+
+func (t *Tree) subset(n *node, remaining, full []int32, depth int, tid int64, fn func(c *Candidate)) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		for _, idx := range n.candidates {
+			t.ctr.HashOps++
+			c := t.Cands[idx]
+			if c.lastTID == tid {
+				continue
+			}
+			if isSubset(c.Items, full) {
+				c.lastTID = tid
+				fn(c)
+			}
+		}
+		return
+	}
+	// Try every remaining item as the candidate's next element; items are
+	// ascending in both the transaction and candidates, so descending
+	// with the suffix after each choice covers all subsets.
+	for i, item := range remaining {
+		if t.K-depth > len(remaining)-i {
+			break // not enough items left to complete a candidate
+		}
+		t.ctr.HashOps++
+		t.subset(n.children[hashItem(item)], remaining[i+1:], full, depth+1, tid, fn)
+	}
+}
+
+// isSubset reports whether need (ascending) ⊆ have (ascending).
+func isSubset(need, have []int32) bool {
+	j := 0
+	for _, n := range need {
+		for j < len(have) && have[j] < n {
+			j++
+		}
+		if j == len(have) || have[j] != n {
+			return false
+		}
+		j++
+	}
+	return true
+}

@@ -1,0 +1,177 @@
+package hashtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"icebergcube/internal/cost"
+)
+
+// naiveSubsets enumerates all k-subsets of items for the reference count.
+func naiveSubsets(items []int32, k int, fn func([]int32)) {
+	sub := make([]int32, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			fn(sub)
+			return
+		}
+		for i := start; i <= len(items)-(k-depth); i++ {
+			sub[depth] = items[i]
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// TestSubsetMatchesNaive: for random candidate sets and transactions, the
+// hash-tree subset operation visits exactly the stored candidates that are
+// subsets of the transaction — once each.
+func TestSubsetMatchesNaive(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + int(kRaw)%3
+		var ctr cost.Counters
+		tree := New(k, 0, &ctr)
+
+		// Random candidate pool over items 0..29 (ascending per candidate).
+		want := make(map[string]bool)
+		for i := 0; i < 60; i++ {
+			items := rng.Perm(30)[:k]
+			sort.Ints(items)
+			cand := make([]int32, k)
+			for j, v := range items {
+				cand[j] = int32(v)
+			}
+			key := encode(cand)
+			if want[key] {
+				continue
+			}
+			want[key] = true
+			if err := tree.Insert(cand); err != nil {
+				return false
+			}
+		}
+
+		// Random transactions.
+		for txn := 0; txn < 30; txn++ {
+			m := 4 + rng.Intn(6)
+			items := rng.Perm(30)[:m]
+			sort.Ints(items)
+			tx := make([]int32, m)
+			for j, v := range items {
+				tx[j] = int32(v)
+			}
+			expected := make(map[string]bool)
+			naiveSubsets(tx, k, func(sub []int32) {
+				key := encode(sub)
+				if want[key] {
+					expected[key] = true
+				}
+			})
+			got := make(map[string]int)
+			tree.Subset(tx, int64(txn), func(c *Candidate) {
+				got[encode(c.Items)]++
+			})
+			if len(got) != len(expected) {
+				return false
+			}
+			for key, n := range got {
+				if n != 1 || !expected[key] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func encode(items []int32) string {
+	b := make([]byte, 0, 4*len(items))
+	for _, v := range items {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// TestMemoryBudget: inserts fail cleanly once the budget is hit, and the
+// tree's accounting reflects what was stored.
+func TestMemoryBudget(t *testing.T) {
+	var ctr cost.Counters
+	tree := New(2, 600, &ctr)
+	var failed bool
+	for i := int32(0); i < 100 && !failed; i++ {
+		if err := tree.Insert([]int32{i, i + 100}); err != nil {
+			if err != ErrMemoryExhausted {
+				t.Fatalf("unexpected error %v", err)
+			}
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("a 600-byte budget should not fit 100 candidates")
+	}
+	// Node-split overhead may land slightly past the candidate budget,
+	// but never by more than one split's worth.
+	if tree.SizeBytes() > 600+2*fanout*8 {
+		t.Fatalf("SizeBytes %d far exceeds the budget", tree.SizeBytes())
+	}
+	if tree.Len() == 0 {
+		t.Fatal("some candidates should have been stored before exhaustion")
+	}
+}
+
+// TestLeafSplit: pushing many same-hash candidates through splits leaves
+// without losing anyone.
+func TestLeafSplit(t *testing.T) {
+	var ctr cost.Counters
+	tree := New(3, 0, &ctr)
+	n := 0
+	for a := int32(0); a < 8; a++ {
+		for b := a + 1; b < 16; b++ {
+			for c := b + 1; c < 24; c++ {
+				if err := tree.Insert([]int32{a, b, c}); err != nil {
+					t.Fatal(err)
+				}
+				n++
+			}
+		}
+	}
+	if tree.Len() != n {
+		t.Fatalf("tree lost candidates: %d vs %d", tree.Len(), n)
+	}
+	// A transaction containing everything must see every candidate.
+	tx := make([]int32, 24)
+	for i := range tx {
+		tx[i] = int32(i)
+	}
+	seen := 0
+	tree.Subset(tx, 1, func(*Candidate) { seen++ })
+	if seen != n {
+		t.Fatalf("subset over the universal transaction saw %d of %d", seen, n)
+	}
+}
+
+// TestIsSubset covers the merge-walk helper.
+func TestIsSubset(t *testing.T) {
+	cases := []struct {
+		need, have []int32
+		want       bool
+	}{
+		{[]int32{1, 3}, []int32{0, 1, 2, 3}, true},
+		{[]int32{1, 4}, []int32{0, 1, 2, 3}, false},
+		{[]int32{}, []int32{5}, true},
+		{[]int32{5}, []int32{}, false},
+		{[]int32{2, 2}, []int32{2}, false},
+	}
+	for _, c := range cases {
+		if got := isSubset(c.need, c.have); got != c.want {
+			t.Errorf("isSubset(%v,%v) = %v", c.need, c.have, got)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package lattice
+
+// Affinity selection (§3.3.2): when a worker asks for its next cuboid, the
+// manager first looks for a remaining cuboid that is a *prefix* of the
+// worker's previous (or first) cuboid — the previous skip list can be
+// aggregated in place; then for a *subset* — the previous skip list's cells
+// can seed the new list; otherwise it hands out the remaining cuboid with
+// the most dimensions, which maximizes future affinity.
+
+// PickPrefix returns the remaining cuboid that is the longest proper prefix
+// of prev, or 0,false if none exists. remaining must not contain prev
+// itself.
+func PickPrefix(remaining map[Mask]bool, prev Mask) (Mask, bool) {
+	var best Mask
+	found := false
+	for m := range remaining {
+		if m != prev && m.PrefixOf(prev) {
+			if !found || m.Count() > best.Count() || (m.Count() == best.Count() && m < best) {
+				best, found = m, true
+			}
+		}
+	}
+	return best, found
+}
+
+// PickSubset returns the remaining cuboid with the most attributes that is
+// a proper subset of prev, or 0,false if none exists. Ties break toward the
+// smaller mask for determinism.
+func PickSubset(remaining map[Mask]bool, prev Mask) (Mask, bool) {
+	var best Mask
+	found := false
+	for m := range remaining {
+		if m != prev && m.SubsetOf(prev) {
+			if !found || m.Count() > best.Count() || (m.Count() == best.Count() && m < best) {
+				best, found = m, true
+			}
+		}
+	}
+	return best, found
+}
+
+// PickLargest returns the remaining cuboid with the most attributes
+// (deterministic tie-break toward the smaller mask), or 0,false when no
+// tasks remain.
+func PickLargest(remaining map[Mask]bool) (Mask, bool) {
+	var best Mask
+	found := false
+	for m := range remaining {
+		if !found || m.Count() > best.Count() || (m.Count() == best.Count() && m < best) {
+			best, found = m, true
+		}
+	}
+	return best, found
+}
+
+// PickLongestSharedPrefix returns the remaining cuboid sharing the longest
+// leading-attribute run with prev, breaking ties toward more dimensions and
+// then the smaller mask. This is the §4.9.2 "further improvement" to
+// affinity scheduling: even when no strict prefix or subset is available,
+// hand out the task with the longest possible prefix of the previous one so
+// partial sort order is still shared (the Overlap idea folded into ASL).
+func PickLongestSharedPrefix(remaining map[Mask]bool, prev Mask) (Mask, bool) {
+	var best Mask
+	bestShared := -1
+	found := false
+	for m := range remaining {
+		shared := LongestPrefixLen(m, prev)
+		better := shared > bestShared ||
+			(shared == bestShared && m.Count() > best.Count()) ||
+			(shared == bestShared && m.Count() == best.Count() && m < best)
+		if !found || better {
+			best, bestShared, found = m, shared, true
+		}
+	}
+	return best, found
+}
+
+// LongestPrefixLen returns the number of leading attributes the two cuboids
+// share, used by the sort-sharing cost model: a worker whose previous sort
+// order shares a k-attribute prefix with the next task's order only pays
+// for sorting within those prefix groups.
+func LongestPrefixLen(a, b Mask) int {
+	da, db := a.Dims(), b.Dims()
+	n := 0
+	for n < len(da) && n < len(db) && da[n] == db[n] {
+		n++
+	}
+	return n
+}

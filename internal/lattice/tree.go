@@ -1,0 +1,168 @@
+package lattice
+
+// The BUC processing tree (Fig 2.4(c)) over dimensions {A1..Am} has the
+// "all" node as root; the children of a node whose largest attribute is Ai
+// are the nodes extending it with one attribute Ak, k > i. Because
+// attribute sequences are ascending, each node is exactly one Mask and the
+// tree contains all 2^m masks.
+
+// Subtree is a (possibly chopped) region of the BUC processing tree: the
+// nodes reachable from Root whose masks are in Nodes. Algorithm PT's binary
+// division produces full subtrees (every descendant included) and chopped
+// subtrees (some leading branches cut away); both are captured by the
+// explicit node set.
+type Subtree struct {
+	// Root is the mask of the subtree's root cuboid. The root itself is
+	// always a member of Nodes.
+	Root Mask
+	// Nodes is the set of cuboids in the subtree.
+	Nodes map[Mask]bool
+}
+
+// Size returns the number of cuboids in the subtree.
+func (s *Subtree) Size() int { return len(s.Nodes) }
+
+// Contains reports whether cuboid m belongs to the subtree.
+func (s *Subtree) Contains(m Mask) bool { return s.Nodes[m] }
+
+// MaxDim returns the largest dimension index that appears in Root, or -1
+// for the "all" root. BUC recursion under the root explores dimensions
+// strictly greater than this.
+func (s *Subtree) MaxDim() int {
+	max := -1
+	for _, d := range s.Root.Dims() {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DescendantMasks enumerates the full BUC subtree rooted at root: root
+// itself plus every extension of root by attributes larger than root's
+// maximum, restricted to dimensions < d.
+func DescendantMasks(root Mask, d int) []Mask {
+	maxDim := -1
+	for _, dim := range root.Dims() {
+		if dim > maxDim {
+			maxDim = dim
+		}
+	}
+	out := []Mask{root}
+	var extend func(m Mask, from int)
+	extend = func(m Mask, from int) {
+		for k := from; k < d; k++ {
+			child := m | 1<<uint(k)
+			out = append(out, child)
+			extend(child, k+1)
+		}
+	}
+	extend(root, maxDim+1)
+	return out
+}
+
+// FullSubtree builds the full BUC subtree rooted at root in a d-dimensional
+// cube.
+func FullSubtree(root Mask, d int) *Subtree {
+	nodes := make(map[Mask]bool)
+	for _, m := range DescendantMasks(root, d) {
+		nodes[m] = true
+	}
+	return &Subtree{Root: root, Nodes: nodes}
+}
+
+// RPTasks returns the task decomposition of algorithm RP: one full subtree
+// per dimension (T_A1 .. T_Am), excluding the "all" node which is handled
+// separately (§3.1).
+func RPTasks(d int) []*Subtree {
+	tasks := make([]*Subtree, d)
+	for i := 0; i < d; i++ {
+		tasks[i] = FullSubtree(MaskOf(i), d)
+	}
+	return tasks
+}
+
+// leftmostChild returns the smallest dimension that can extend the root of
+// t *and* leads to a branch present in t, or -1 if t is a single node.
+func (s *Subtree) leftmostChild(d int) int {
+	maxDim := s.MaxDim()
+	for k := maxDim + 1; k < d; k++ {
+		child := s.Root | 1<<uint(k)
+		if s.Nodes[child] {
+			return k
+		}
+	}
+	return -1
+}
+
+// binaryDivide cuts the leftmost root edge of t (§3.4, Fig 3.9): the branch
+// through the leftmost child becomes one subtree (full), the remainder
+// (root plus the other branches) becomes the other. Returns nil, nil when t
+// cannot be divided (single node).
+func binaryDivide(t *Subtree, d int) (left, right *Subtree) {
+	k := t.leftmostChild(d)
+	if k < 0 {
+		return nil, nil
+	}
+	childRoot := t.Root | 1<<uint(k)
+	leftNodes := make(map[Mask]bool)
+	rightNodes := make(map[Mask]bool)
+	for m := range t.Nodes {
+		// A node belongs to the cut branch iff it contains dimension k
+		// (every node under childRoot extends it, and extensions keep
+		// bit k; no other branch of t's root can contain k because
+		// branches are identified by their smallest extra dimension).
+		if m.Has(k) && childRoot.SubsetOf(m) {
+			leftNodes[m] = true
+		} else {
+			rightNodes[m] = true
+		}
+	}
+	return &Subtree{Root: childRoot, Nodes: leftNodes},
+		&Subtree{Root: t.Root, Nodes: rightNodes}
+}
+
+// BinaryDivision recursively halves the BUC processing tree of a
+// d-dimensional cube until at least minTasks tasks exist (or no task can be
+// divided further), always splitting the currently largest task. The paper
+// stops at 32·n tasks for n processors. The "all" root node is excluded
+// from the initial tree, matching the algorithms' task definitions.
+func BinaryDivision(d, minTasks int) []*Subtree {
+	root := FullSubtree(0, d)
+	delete(root.Nodes, 0)
+	// After removing "all", the remainder is still a valid chopped
+	// subtree for division purposes, but its root must be re-anchored:
+	// keep Root = 0 with the node itself absent; division and execution
+	// only ever write nodes present in Nodes.
+	tasks := []*Subtree{root}
+	for len(tasks) < minTasks {
+		// Pick the largest divisible task.
+		best := -1
+		for i, t := range tasks {
+			if t.Size() < 2 {
+				continue
+			}
+			if t.leftmostChild(d) < 0 {
+				continue
+			}
+			if best < 0 || t.Size() > tasks[best].Size() {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		l, r := binaryDivide(tasks[best], d)
+		tasks[best] = l
+		tasks = append(tasks, r)
+	}
+	// Drop empty remainders (possible when the chopped root ran out of
+	// branches).
+	out := tasks[:0]
+	for _, t := range tasks {
+		if t.Size() > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// localWorld is the in-process transport: one buffered mailbox per rank,
+// guarded by a condition variable so Recv can match on (from, tag).
+type localWorld struct {
+	size  int
+	boxes []*mailbox
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// localComm is one rank's endpoint.
+type localComm struct {
+	world *localWorld
+	rank  int
+}
+
+// NewLocalWorld creates an n-rank in-process world and returns one Comm
+// per rank. Each rank's Comm must be used by a single goroutine at a time
+// for Recv (matching MPI's threading level).
+func NewLocalWorld(n int) []Comm {
+	w := &localWorld{size: n, boxes: make([]*mailbox, n)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	comms := make([]Comm, n)
+	for i := range comms {
+		comms[i] = &localComm{world: w, rank: i}
+	}
+	return comms
+}
+
+// Rank implements Comm.
+func (c *localComm) Rank() int { return c.rank }
+
+// Size implements Comm.
+func (c *localComm) Size() int { return c.world.size }
+
+// Send implements Comm: non-blocking buffered delivery.
+func (c *localComm) Send(to, tag int, payload []byte) error {
+	if to < 0 || to >= c.world.size {
+		return fmt.Errorf("mpi: send to invalid rank %d (world size %d)", to, c.world.size)
+	}
+	box := c.world.boxes[to]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	if box.closed {
+		return fmt.Errorf("mpi: send to closed rank %d", to)
+	}
+	box.queue = append(box.queue, Message{From: c.rank, Tag: tag, Payload: payload})
+	box.cond.Broadcast()
+	return nil
+}
+
+// Recv implements Comm: blocks for the first queued message matching
+// (from, tag), preserving per-sender order.
+func (c *localComm) Recv(from, tag int) (Message, error) {
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		for i, m := range box.queue {
+			if m.Tag == tag && (from == AnySource || m.From == from) {
+				box.queue = append(box.queue[:i], box.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if box.closed {
+			return Message{}, fmt.Errorf("mpi: recv on closed rank %d", c.rank)
+		}
+		box.cond.Wait()
+	}
+}
+
+// Close implements Comm.
+func (c *localComm) Close() error {
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	box.closed = true
+	box.cond.Broadcast()
+	box.mu.Unlock()
+	return nil
+}

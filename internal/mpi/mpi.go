@@ -1,0 +1,142 @@
+// Package mpi is a minimal message-passing layer in the spirit of the MPI
+// subset the paper's system uses (§3: "low cost PC clusters using open
+// source, Linux and public domain versions of the MPI message passing
+// standard"): tagged point-to-point send/receive between ranks plus the
+// collectives the algorithms need (barrier, broadcast, gather, all-reduce).
+//
+// Two transports implement the same Comm interface: an in-process
+// channel-based world (the default for the simulated cluster and tests)
+// and a TCP mesh (package tcp.go) that runs the identical algorithm code
+// across real sockets — or real machines.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AnySource matches a message from any rank in Recv.
+const AnySource = -1
+
+// Message is one received payload with its envelope.
+type Message struct {
+	From    int
+	Tag     int
+	Payload []byte
+}
+
+// Comm is one rank's endpoint in a world of Size() ranks.
+type Comm interface {
+	// Rank is this process's id, 0-based; Size the world size.
+	Rank() int
+	Size() int
+	// Send delivers payload to rank `to` under a tag. It must not block
+	// indefinitely on un-received messages (transports buffer).
+	Send(to, tag int, payload []byte) error
+	// Recv blocks for the next message from rank `from` (or AnySource)
+	// with the given tag.
+	Recv(from, tag int) (Message, error)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// Reserved collective tags live high above user tags.
+const (
+	tagBarrier = 1<<30 + iota
+	tagBcast
+	tagGather
+	tagReduce
+)
+
+// Barrier blocks until every rank has entered it (central coordinator at
+// rank 0, as the paper's manager process does).
+func Barrier(c Comm) error {
+	if c.Size() == 1 {
+		return nil
+	}
+	if c.Rank() == 0 {
+		for i := 1; i < c.Size(); i++ {
+			if _, err := c.Recv(AnySource, tagBarrier); err != nil {
+				return fmt.Errorf("mpi: barrier collect: %w", err)
+			}
+		}
+		for i := 1; i < c.Size(); i++ {
+			if err := c.Send(i, tagBarrier, nil); err != nil {
+				return fmt.Errorf("mpi: barrier release: %w", err)
+			}
+		}
+		return nil
+	}
+	if err := c.Send(0, tagBarrier, nil); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, tagBarrier)
+	return err
+}
+
+// Bcast sends rank 0's payload to every rank; non-root ranks receive and
+// return it.
+func Bcast(c Comm, payload []byte) ([]byte, error) {
+	if c.Rank() == 0 {
+		for i := 1; i < c.Size(); i++ {
+			if err := c.Send(i, tagBcast, payload); err != nil {
+				return nil, err
+			}
+		}
+		return payload, nil
+	}
+	m, err := c.Recv(0, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
+// Gather collects every rank's payload at rank 0, indexed by rank; other
+// ranks get nil.
+func Gather(c Comm, payload []byte) ([][]byte, error) {
+	if c.Rank() != 0 {
+		return nil, c.Send(0, tagGather, payload)
+	}
+	out := make([][]byte, c.Size())
+	out[0] = payload
+	for i := 1; i < c.Size(); i++ {
+		m, err := c.Recv(AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[m.From] = m.Payload
+	}
+	return out, nil
+}
+
+// AllReduceSum sums one int64 per rank and returns the total on every rank.
+func AllReduceSum(c Comm, v int64) (int64, error) {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(v))
+	if c.Rank() == 0 {
+		total := v
+		for i := 1; i < c.Size(); i++ {
+			m, err := c.Recv(AnySource, tagReduce)
+			if err != nil {
+				return 0, err
+			}
+			total += int64(binary.LittleEndian.Uint64(m.Payload))
+		}
+		binary.LittleEndian.PutUint64(buf, uint64(total))
+		for i := 1; i < c.Size(); i++ {
+			if err := c.Send(i, tagReduce, buf); err != nil {
+				return 0, err
+			}
+		}
+		return total, nil
+	}
+	if err := c.Send(0, tagReduce, buf); err != nil {
+		return 0, err
+	}
+	m, err := c.Recv(0, tagReduce)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(m.Payload)), nil
+}

@@ -1,0 +1,253 @@
+package mpi
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// worlds returns both transports under one name so every test runs on
+// channels and on real TCP sockets.
+func worlds(t *testing.T, n int) map[string][]Comm {
+	t.Helper()
+	out := map[string][]Comm{"local": NewLocalWorld(n)}
+	// Free ports are picked by binding and releasing; rebinding races are
+	// rare and tolerable in tests (retry once on failure).
+	tcp, err := buildTCPWorld(n)
+	if err != nil {
+		tcp, err = buildTCPWorld(n)
+	}
+	if err != nil {
+		t.Fatalf("building TCP world: %v", err)
+	}
+	out["tcp"] = tcp
+	return out
+}
+
+// freeAddrs reserves n distinct loopback ports and releases them for the
+// world to rebind.
+func freeAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	listeners := make([]interface{ Close() error }, 0, n)
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners = append(listeners, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}
+
+func buildTCPWorld(n int) ([]Comm, error) {
+	addrs, err := freeAddrs(n)
+	if err != nil {
+		return nil, err
+	}
+	comms := make([]Comm, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comms[r], errs[r] = NewTCPWorld(r, addrs, 5*time.Second)
+		}(r)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return comms, nil
+}
+
+// TestSendRecv: point-to-point with tag and source matching, both
+// transports.
+func TestSendRecv(t *testing.T) {
+	for name, comms := range worlds(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			defer closeAll(comms)
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				if err := comms[1].Send(0, 7, []byte("from1")); err != nil {
+					t.Error(err)
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				if err := comms[2].Send(0, 7, []byte("from2")); err != nil {
+					t.Error(err)
+				}
+			}()
+			m1, err := comms[0].Recv(1, 7)
+			if err != nil || string(m1.Payload) != "from1" || m1.From != 1 {
+				t.Fatalf("recv from 1: %v %+v", err, m1)
+			}
+			m2, err := comms[0].Recv(AnySource, 7)
+			if err != nil || string(m2.Payload) != "from2" {
+				t.Fatalf("recv any: %v %+v", err, m2)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestTagMatching: messages with other tags must not satisfy a Recv.
+func TestTagMatching(t *testing.T) {
+	for name, comms := range worlds(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer closeAll(comms)
+			if err := comms[1].Send(0, 1, []byte("one")); err != nil {
+				t.Fatal(err)
+			}
+			if err := comms[1].Send(0, 2, []byte("two")); err != nil {
+				t.Fatal(err)
+			}
+			m, err := comms[0].Recv(1, 2)
+			if err != nil || string(m.Payload) != "two" {
+				t.Fatalf("tag 2 recv got %+v, %v", m, err)
+			}
+			m, err = comms[0].Recv(1, 1)
+			if err != nil || string(m.Payload) != "one" {
+				t.Fatalf("tag 1 recv got %+v, %v", m, err)
+			}
+		})
+	}
+}
+
+// TestCollectives: barrier, broadcast, gather, all-reduce across both
+// transports.
+func TestCollectives(t *testing.T) {
+	for name, comms := range worlds(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			defer closeAll(comms)
+			var wg sync.WaitGroup
+			sums := make([]int64, 4)
+			gathered := make([][][]byte, 4)
+			bcasts := make([][]byte, 4)
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					c := comms[r]
+					if err := Barrier(c); err != nil {
+						t.Error(err)
+						return
+					}
+					b, err := Bcast(c, []byte("hello"))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					bcasts[r] = b
+					g, err := Gather(c, []byte{byte(r)})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					gathered[r] = g
+					s, err := AllReduceSum(c, int64(r+1))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					sums[r] = s
+				}(r)
+			}
+			wg.Wait()
+			for r := 0; r < 4; r++ {
+				if string(bcasts[r]) != "hello" {
+					t.Fatalf("rank %d bcast %q", r, bcasts[r])
+				}
+				if sums[r] != 10 {
+					t.Fatalf("rank %d all-reduce %d, want 10", r, sums[r])
+				}
+			}
+			if gathered[0] == nil {
+				t.Fatal("rank 0 gathered nothing")
+			}
+			for r, b := range gathered[0] {
+				if len(b) != 1 || b[0] != byte(r) {
+					t.Fatalf("gather slot %d = %v", r, b)
+				}
+			}
+			for r := 1; r < 4; r++ {
+				if gathered[r] != nil {
+					t.Fatalf("non-root rank %d received a gather result", r)
+				}
+			}
+		})
+	}
+}
+
+// TestLargePayloadTCP: frames beyond a single TCP segment survive framing.
+func TestLargePayloadTCP(t *testing.T) {
+	comms, err := buildTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(comms)
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	go func() {
+		if err := comms[1].Send(0, 5, payload); err != nil {
+			t.Error(err)
+		}
+	}()
+	m, err := comms[0].Recv(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Payload) != len(payload) {
+		t.Fatalf("received %d bytes, want %d", len(m.Payload), len(payload))
+	}
+	for i := range payload {
+		if m.Payload[i] != payload[i] {
+			t.Fatalf("payload corrupted at byte %d", i)
+		}
+	}
+}
+
+// TestSelfSend: a rank may message itself (both transports support it).
+func TestSelfSend(t *testing.T) {
+	comms, err := buildTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(comms)
+	if err := comms[0].Send(0, 9, []byte("me")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := comms[0].Recv(0, 9)
+	if err != nil || string(m.Payload) != "me" {
+		t.Fatalf("self-send: %v %+v", err, m)
+	}
+}
+
+// TestInvalidRank: sends outside the world fail.
+func TestInvalidRank(t *testing.T) {
+	comms := NewLocalWorld(2)
+	defer closeAll(comms)
+	if err := comms[0].Send(5, 1, nil); err == nil {
+		t.Fatal("send to rank 5 of 2 should fail")
+	}
+}
+
+func closeAll(comms []Comm) {
+	for _, c := range comms {
+		c.Close()
+	}
+}

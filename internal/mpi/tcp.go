@@ -1,0 +1,201 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP transport: a full mesh of connections among ranks, each frame being
+//
+//	[from int32][tag int32][len int32][payload]
+//
+// Rank i accepts connections from ranks > i and dials ranks < i, which
+// yields exactly one duplex connection per pair without a rendezvous
+// service — the way small MPI launchers wire clusters.
+
+type tcpComm struct {
+	rank  int
+	addrs []string
+	conns []net.Conn // conns[r] = link to rank r (nil for self)
+	box   *mailbox
+	wg    sync.WaitGroup
+	mu    sync.Mutex // serializes writes per connection set
+	ln    net.Listener
+}
+
+// NewTCPWorld joins rank `rank` of a world whose rank addresses are addrs
+// (host:port per rank; this rank listens on addrs[rank]). It blocks until
+// the full mesh is up or the timeout expires. Every process (or machine)
+// in the cluster calls it with the same address list and its own rank.
+func NewTCPWorld(rank int, addrs []string, timeout time.Duration) (Comm, error) {
+	n := len(addrs)
+	if rank < 0 || rank >= n {
+		return nil, fmt.Errorf("mpi: rank %d outside world of %d", rank, n)
+	}
+	c := &tcpComm{rank: rank, addrs: addrs, conns: make([]net.Conn, n), box: newMailbox()}
+	deadline := time.Now().Add(timeout)
+
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rank %d listen on %s: %w", rank, addrs[rank], err)
+	}
+	c.ln = ln
+
+	var acceptErr error
+	var acceptWg sync.WaitGroup
+	higher := n - rank - 1
+	acceptWg.Add(1)
+	go func() {
+		defer acceptWg.Done()
+		for got := 0; got < higher; got++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr = err
+				return
+			}
+			// The dialer announces its rank first.
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				acceptErr = err
+				return
+			}
+			peer := int(int32(binary.LittleEndian.Uint32(hello[:])))
+			if peer <= rank || peer >= n {
+				acceptErr = fmt.Errorf("mpi: unexpected hello from rank %d", peer)
+				return
+			}
+			c.conns[peer] = conn
+		}
+	}()
+
+	// Dial every lower rank, retrying until its listener is up.
+	for peer := 0; peer < rank; peer++ {
+		var conn net.Conn
+		for {
+			conn, err = net.DialTimeout("tcp", addrs[peer], time.Second)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				ln.Close()
+				return nil, fmt.Errorf("mpi: rank %d dialing rank %d: %w", rank, peer, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var hello [4]byte
+		binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+		if _, err := conn.Write(hello[:]); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("mpi: rank %d hello to %d: %w", rank, peer, err)
+		}
+		c.conns[peer] = conn
+	}
+	acceptWg.Wait()
+	if acceptErr != nil {
+		ln.Close()
+		return nil, fmt.Errorf("mpi: rank %d accepting: %w", rank, acceptErr)
+	}
+
+	// One reader goroutine per peer feeds the shared mailbox.
+	for peer, conn := range c.conns {
+		if conn == nil {
+			continue
+		}
+		c.wg.Add(1)
+		go c.reader(peer, conn)
+	}
+	return c, nil
+}
+
+func (c *tcpComm) reader(peer int, conn net.Conn) {
+	defer c.wg.Done()
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // connection closed
+		}
+		from := int(int32(binary.LittleEndian.Uint32(hdr[0:])))
+		tag := int(int32(binary.LittleEndian.Uint32(hdr[4:])))
+		size := int(int32(binary.LittleEndian.Uint32(hdr[8:])))
+		var payload []byte
+		if size > 0 {
+			payload = make([]byte, size)
+			if _, err := io.ReadFull(conn, payload); err != nil {
+				return
+			}
+		}
+		c.box.mu.Lock()
+		c.box.queue = append(c.box.queue, Message{From: from, Tag: tag, Payload: payload})
+		c.box.cond.Broadcast()
+		c.box.mu.Unlock()
+	}
+}
+
+// Rank implements Comm.
+func (c *tcpComm) Rank() int { return c.rank }
+
+// Size implements Comm.
+func (c *tcpComm) Size() int { return len(c.addrs) }
+
+// Send implements Comm.
+func (c *tcpComm) Send(to, tag int, payload []byte) error {
+	if to == c.rank {
+		c.box.mu.Lock()
+		c.box.queue = append(c.box.queue, Message{From: c.rank, Tag: tag, Payload: payload})
+		c.box.cond.Broadcast()
+		c.box.mu.Unlock()
+		return nil
+	}
+	if to < 0 || to >= len(c.conns) || c.conns[to] == nil {
+		return fmt.Errorf("mpi: no link from rank %d to rank %d", c.rank, to)
+	}
+	frame := make([]byte, 12+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(c.rank))
+	binary.LittleEndian.PutUint32(frame[4:], uint32(tag))
+	binary.LittleEndian.PutUint32(frame[8:], uint32(len(payload)))
+	copy(frame[12:], payload)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.conns[to].Write(frame)
+	return err
+}
+
+// Recv implements Comm.
+func (c *tcpComm) Recv(from, tag int) (Message, error) {
+	c.box.mu.Lock()
+	defer c.box.mu.Unlock()
+	for {
+		for i, m := range c.box.queue {
+			if m.Tag == tag && (from == AnySource || m.From == from) {
+				c.box.queue = append(c.box.queue[:i], c.box.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if c.box.closed {
+			return Message{}, fmt.Errorf("mpi: recv on closed rank %d", c.rank)
+		}
+		c.box.cond.Wait()
+	}
+}
+
+// Close implements Comm.
+func (c *tcpComm) Close() error {
+	c.box.mu.Lock()
+	c.box.closed = true
+	c.box.cond.Broadcast()
+	c.box.mu.Unlock()
+	for _, conn := range c.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	c.wg.Wait()
+	return nil
+}

@@ -1,0 +1,69 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV loads a relation from CSV. The first record must be a header; all
+// columns except the last are treated as dimensions (dictionary-encoded),
+// and the last column is parsed as the float64 measure. A Dictionary is
+// returned so results can be decoded back to the original strings.
+func ReadCSV(r io.Reader) (*Relation, *Dictionary, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, nil, fmt.Errorf("relation: CSV needs at least one dimension and a measure column, got %d columns", len(header))
+	}
+	names := header[:len(header)-1]
+	var rows [][]string
+	var measures []float64
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
+		}
+		m, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("relation: CSV line %d: bad measure %q: %w", line, rec[len(rec)-1], err)
+		}
+		rows = append(rows, rec[:len(rec)-1])
+		measures = append(measures, m)
+	}
+	return FromRows(names, rows, measures)
+}
+
+// WriteCSV writes the relation in the format ReadCSV accepts, decoding codes
+// through dict (which must have been produced alongside the relation).
+func (r *Relation) WriteCSV(w io.Writer, dict *Dictionary, measureName string) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string(nil), r.names...), measureName)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	rec := make([]string, r.NumDims()+1)
+	for row := 0; row < r.Len(); row++ {
+		for d := 0; d < r.NumDims(); d++ {
+			if dict != nil {
+				rec[d] = dict.Encoders[d].Decode(r.cols[d][row])
+			} else {
+				rec[d] = strconv.FormatUint(uint64(r.cols[d][row]), 10)
+			}
+		}
+		rec[r.NumDims()] = strconv.FormatFloat(r.meas[row], 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: writing CSV row %d: %w", row, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,105 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Encoder builds the dictionary encoding for one dimension: it assigns dense
+// integer codes to raw string values in first-seen order and can later
+// decode codes back to strings.
+type Encoder struct {
+	codes  map[string]uint32
+	values []string
+}
+
+// NewEncoder returns an empty dictionary encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{codes: make(map[string]uint32)}
+}
+
+// Encode returns the code for v, assigning the next free code on first use.
+func (e *Encoder) Encode(v string) uint32 {
+	if c, ok := e.codes[v]; ok {
+		return c
+	}
+	c := uint32(len(e.values))
+	e.codes[v] = c
+	e.values = append(e.values, v)
+	return c
+}
+
+// Lookup returns the code for v and whether it has been seen.
+func (e *Encoder) Lookup(v string) (uint32, bool) {
+	c, ok := e.codes[v]
+	return c, ok
+}
+
+// Decode returns the string for code c.
+func (e *Encoder) Decode(c uint32) string {
+	return e.values[c]
+}
+
+// Card returns the number of distinct values seen so far.
+func (e *Encoder) Card() int { return len(e.values) }
+
+// Dictionary is the per-dimension set of encoders used when loading raw
+// (string-valued) data into a Relation.
+type Dictionary struct {
+	Encoders []*Encoder
+}
+
+// NewDictionary returns a dictionary with one encoder per dimension.
+func NewDictionary(numDims int) *Dictionary {
+	encs := make([]*Encoder, numDims)
+	for i := range encs {
+		encs[i] = NewEncoder()
+	}
+	return &Dictionary{Encoders: encs}
+}
+
+// FromRows builds a Relation (and its Dictionary) from raw string tuples.
+// Each row must contain one string per dimension; measures supplies the
+// per-row measure. Dimension cardinalities are set to the number of distinct
+// values observed.
+func FromRows(names []string, rows [][]string, measures []float64) (*Relation, *Dictionary, error) {
+	if len(rows) != len(measures) {
+		return nil, nil, fmt.Errorf("relation: %d rows but %d measures", len(rows), len(measures))
+	}
+	dict := NewDictionary(len(names))
+	encoded := make([][]uint32, len(rows))
+	for i, row := range rows {
+		if len(row) != len(names) {
+			return nil, nil, fmt.Errorf("relation: row %d has %d values, want %d", i, len(row), len(names))
+		}
+		codes := make([]uint32, len(row))
+		for d, v := range row {
+			codes[d] = dict.Encoders[d].Encode(v)
+		}
+		encoded[i] = codes
+	}
+	cards := make([]int, len(names))
+	for d := range cards {
+		cards[d] = dict.Encoders[d].Card()
+		if cards[d] == 0 {
+			cards[d] = 1
+		}
+	}
+	rel := New(names, cards)
+	for i, codes := range encoded {
+		rel.Append(codes, measures[i])
+	}
+	return rel, dict, nil
+}
+
+// DimsByCardinality returns dimension indices sorted ascending by
+// cardinality. Experiments that vary sparseness (Fig 4.6) pick the k
+// smallest- or largest-cardinality dimensions with it.
+func (r *Relation) DimsByCardinality() []int {
+	dims := make([]int, r.NumDims())
+	for i := range dims {
+		dims[i] = i
+	}
+	sort.SliceStable(dims, func(a, b int) bool { return r.cards[dims[a]] < r.cards[dims[b]] })
+	return dims
+}

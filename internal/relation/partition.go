@@ -1,0 +1,74 @@
+package relation
+
+// RangePartition splits the relation's rows into n chunks by contiguous code
+// ranges of dimension d, balancing chunk sizes as evenly as the value
+// histogram allows. Codes are never split across chunks, so a heavily skewed
+// dimension yields heavily uneven chunks — exactly the behaviour that limits
+// BPP's load balance in the paper (§3.3, §4.3).
+//
+// The result always has n entries; trailing chunks may be empty when the
+// dimension has fewer distinct values than n (e.g. a Gender attribute split
+// across 4 processors leaves 2 chunks empty).
+func (r *Relation) RangePartition(d, n int) [][]int32 {
+	if n <= 0 {
+		panic("relation: RangePartition needs n > 0")
+	}
+	hist := make([]int, r.cards[d])
+	col := r.cols[d]
+	for _, v := range col {
+		hist[v]++
+	}
+	// Greedy range assignment: walk codes in order, starting a new chunk
+	// when the current one reaches the ideal share.
+	target := (r.Len() + n - 1) / n
+	cutAfter := make([]int, 0, n) // exclusive upper code bound per chunk
+	acc := 0
+	for v := 0; v < len(hist); v++ {
+		acc += hist[v]
+		if acc >= target && len(cutAfter) < n-1 {
+			cutAfter = append(cutAfter, v+1)
+			acc = 0
+		}
+	}
+	cutAfter = append(cutAfter, len(hist))
+	for len(cutAfter) < n {
+		cutAfter = append(cutAfter, len(hist))
+	}
+
+	chunkOf := make([]int32, len(hist))
+	lo := 0
+	for c, hi := range cutAfter {
+		for v := lo; v < hi; v++ {
+			chunkOf[v] = int32(c)
+		}
+		lo = hi
+	}
+	chunks := make([][]int32, n)
+	for row, v := range col {
+		c := chunkOf[v]
+		chunks[c] = append(chunks[c], int32(row))
+	}
+	return chunks
+}
+
+// BlockPartition splits rows into n contiguous blocks of near-equal size in
+// storage order (no sorting), as POL range-partitions the raw data set
+// across processors (§5.3.1).
+func (r *Relation) BlockPartition(n int) [][]int32 {
+	if n <= 0 {
+		panic("relation: BlockPartition needs n > 0")
+	}
+	total := r.Len()
+	chunks := make([][]int32, n)
+	lo := 0
+	for c := 0; c < n; c++ {
+		hi := lo + (total-lo)/(n-c)
+		chunk := make([]int32, 0, hi-lo)
+		for row := lo; row < hi; row++ {
+			chunk = append(chunk, int32(row))
+		}
+		chunks[c] = chunk
+		lo = hi
+	}
+	return chunks
+}

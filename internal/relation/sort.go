@@ -1,0 +1,153 @@
+package relation
+
+import "sort"
+
+// CompareCounter receives the number of key-element comparisons performed by
+// sorting and searching routines. It lets the cost model charge composite-key
+// comparisons proportionally to key length, which is what makes ASL's
+// high-dimensionality penalty (Fig 4.4) emerge from measurement rather than
+// from a hard-coded constant.
+type CompareCounter interface {
+	AddCompares(n int64)
+}
+
+// nopCounter is used when the caller does not care about comparison counts.
+type nopCounter struct{}
+
+func (nopCounter) AddCompares(int64) {}
+
+// NopCounter returns a CompareCounter that discards all counts.
+func NopCounter() CompareCounter { return nopCounter{} }
+
+// SortView reorders idx so the rows it names are sorted lexicographically by
+// the given dimensions. It chooses counting sort per key when the dimension's
+// cardinality is small relative to the run length, which mirrors the
+// counting-sort optimization in the BUC paper, and falls back to comparison
+// sort otherwise.
+func (r *Relation) SortView(idx []int32, dims []int, ctr CompareCounter) {
+	if ctr == nil {
+		ctr = nopCounter{}
+	}
+	r.sortRun(idx, dims, ctr)
+}
+
+func (r *Relation) sortRun(idx []int32, dims []int, ctr CompareCounter) {
+	if len(dims) == 0 || len(idx) < 2 {
+		return
+	}
+	d := dims[0]
+	if r.cards[d] <= 4*len(idx) && r.cards[d] <= 1<<20 {
+		bounds := r.countingSort(idx, d, ctr)
+		if len(dims) > 1 {
+			for i := 0; i+1 < len(bounds); i++ {
+				r.sortRun(idx[bounds[i]:bounds[i+1]], dims[1:], ctr)
+			}
+		}
+		return
+	}
+	col := r.cols[d]
+	var compares int64
+	sort.SliceStable(idx, func(a, b int) bool {
+		compares++
+		return col[idx[a]] < col[idx[b]]
+	})
+	ctr.AddCompares(compares)
+	if len(dims) > 1 {
+		lo := 0
+		for lo < len(idx) {
+			hi := lo + 1
+			v := col[idx[lo]]
+			for hi < len(idx) && col[idx[hi]] == v {
+				hi++
+			}
+			r.sortRun(idx[lo:hi], dims[1:], ctr)
+			lo = hi
+		}
+	}
+}
+
+// countingSort stably orders idx by dimension d and returns the run
+// boundaries: bounds[i]..bounds[i+1] delimit the i-th distinct-value run
+// (empty runs are removed). The scan charges one comparison-equivalent per
+// element so counting and comparison sorts are charged comparably.
+func (r *Relation) countingSort(idx []int32, d int, ctr CompareCounter) []int {
+	col := r.cols[d]
+	card := r.cards[d]
+	counts := make([]int32, card+1)
+	for _, row := range idx {
+		counts[col[row]+1]++
+	}
+	for v := 0; v < card; v++ {
+		counts[v+1] += counts[v]
+	}
+	out := make([]int32, len(idx))
+	pos := append([]int32(nil), counts[:card]...)
+	for _, row := range idx {
+		v := col[row]
+		out[pos[v]] = row
+		pos[v]++
+	}
+	copy(idx, out)
+	ctr.AddCompares(int64(len(idx)))
+
+	bounds := make([]int, 0, 16)
+	prev := int32(-1)
+	for v := 0; v <= card; v++ {
+		if counts[v] != prev {
+			bounds = append(bounds, int(counts[v]))
+			prev = counts[v]
+		}
+	}
+	return bounds
+}
+
+// Runs scans idx (which must already be sorted by dimension d) and returns
+// the boundaries of equal-value runs, including 0 and len(idx).
+func (r *Relation) Runs(idx []int32, d int) []int {
+	col := r.cols[d]
+	bounds := []int{0}
+	for i := 1; i < len(idx); i++ {
+		if col[idx[i]] != col[idx[i-1]] {
+			bounds = append(bounds, i)
+		}
+	}
+	bounds = append(bounds, len(idx))
+	return bounds
+}
+
+// PartitionView stably groups idx by dimension d (counting sort) and returns
+// the run boundaries. It is the partitioning primitive of BUC (Fig 2.10).
+func (r *Relation) PartitionView(idx []int32, d int, ctr CompareCounter) []int {
+	if ctr == nil {
+		ctr = nopCounter{}
+	}
+	if r.cards[d] <= 4*len(idx) && r.cards[d] <= 1<<20 {
+		return r.countingSort(idx, d, ctr)
+	}
+	col := r.cols[d]
+	var compares int64
+	sort.SliceStable(idx, func(a, b int) bool {
+		compares++
+		return col[idx[a]] < col[idx[b]]
+	})
+	ctr.AddCompares(compares)
+	return r.Runs(idx, d)
+}
+
+// CompareRows lexicographically compares two rows on the given dimensions,
+// charging len(dims) comparisons at worst to ctr.
+func (r *Relation) CompareRows(a, b int32, dims []int, ctr CompareCounter) int {
+	var n int64
+	defer func() { ctr.AddCompares(n) }()
+	for _, d := range dims {
+		n++
+		va, vb := r.cols[d][a], r.cols[d][b]
+		if va != vb {
+			if va < vb {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

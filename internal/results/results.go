@@ -1,0 +1,189 @@
+// Package results collects emitted cube cells into a comparable in-memory
+// set. Tests use it to verify every parallel algorithm against the naive
+// reference; the BPP and POL paths use it to merge partial cuboids computed
+// on different processors.
+package results
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/lattice"
+)
+
+// Set is a concurrency-safe collection of cells keyed by (cuboid, values).
+// It satisfies disk.CellSink structurally.
+type Set struct {
+	mu    sync.Mutex
+	cells map[lattice.Mask]map[string]agg.State
+}
+
+// NewSet returns an empty cell set.
+func NewSet() *Set {
+	return &Set{cells: make(map[lattice.Mask]map[string]agg.State)}
+}
+
+func encodeKey(key []uint32) string {
+	buf := make([]byte, 4*len(key))
+	for i, v := range key {
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+	}
+	return string(buf)
+}
+
+// DecodeKey reverses encodeKey.
+func DecodeKey(s string) []uint32 {
+	key := make([]uint32, len(s)/4)
+	for i := range key {
+		key[i] = binary.LittleEndian.Uint32([]byte(s[4*i : 4*i+4]))
+	}
+	return key
+}
+
+// WriteCell records a cell, merging aggregate states if the cell was
+// already present (partial cuboids from different processors are disjoint
+// in tuples, so Merge is exact).
+func (s *Set) WriteCell(m lattice.Mask, key []uint32, st agg.State) {
+	k := encodeKey(key)
+	s.mu.Lock()
+	byKey := s.cells[m]
+	if byKey == nil {
+		byKey = make(map[string]agg.State)
+		s.cells[m] = byKey
+	}
+	if prev, ok := byKey[k]; ok {
+		prev.Merge(st)
+		byKey[k] = prev
+	} else {
+		byKey[k] = st
+	}
+	s.mu.Unlock()
+}
+
+// NumCells returns the total number of cells across all cuboids.
+func (s *Set) NumCells() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, byKey := range s.cells {
+		n += len(byKey)
+	}
+	return n
+}
+
+// NumCuboids returns the number of cuboids holding at least one cell.
+func (s *Set) NumCuboids() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cells)
+}
+
+// Cuboid returns a copy of the cells of cuboid m keyed by encoded value
+// tuple.
+func (s *Set) Cuboid(m lattice.Mask) map[string]agg.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]agg.State, len(s.cells[m]))
+	for k, st := range s.cells[m] {
+		out[k] = st
+	}
+	return out
+}
+
+// Get returns the state of one cell.
+func (s *Set) Get(m lattice.Mask, key []uint32) (agg.State, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.cells[m][encodeKey(key)]
+	return st, ok
+}
+
+// Masks returns the cuboids present, in ascending mask order.
+func (s *Set) Masks() []lattice.Mask {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	masks := make([]lattice.Mask, 0, len(s.cells))
+	for m := range s.cells {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(a, b int) bool { return masks[a] < masks[b] })
+	return masks
+}
+
+// Filter returns a new set holding only the cells satisfying cond, used
+// when a low-threshold precomputation answers a higher-threshold query
+// (§5.1).
+func (s *Set) Filter(cond agg.Condition) *Set {
+	out := NewSet()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for m, byKey := range s.cells {
+		for k, st := range byKey {
+			if cond.Holds(st) {
+				out.WriteCell(m, DecodeKey(k), st)
+			}
+		}
+	}
+	return out
+}
+
+const eps = 1e-9
+
+func statesEqual(a, b agg.State) bool {
+	if a.Count != b.Count {
+		return false
+	}
+	if math.Abs(a.Sum-b.Sum) > eps*(1+math.Abs(a.Sum)) {
+		return false
+	}
+	// Min/Max of empty states are ±Inf; compare with exact equality
+	// semantics that treat equal infinities as equal.
+	return (a.Min == b.Min || math.Abs(a.Min-b.Min) <= eps) &&
+		(a.Max == b.Max || math.Abs(a.Max-b.Max) <= eps)
+}
+
+// Diff compares two sets and returns a human-readable description of the
+// first few discrepancies, or "" if the sets are identical. Tests verify
+// algorithms with it.
+func (s *Set) Diff(o *Set) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	var msgs []string
+	note := func(format string, args ...any) {
+		if len(msgs) < 10 {
+			msgs = append(msgs, fmt.Sprintf(format, args...))
+		}
+	}
+	for m, byKey := range s.cells {
+		other := o.cells[m]
+		for k, st := range byKey {
+			ost, ok := other[k]
+			if !ok {
+				note("cuboid %b: cell %v missing from other", m, DecodeKey(k))
+				continue
+			}
+			if !statesEqual(st, ost) {
+				note("cuboid %b: cell %v state %+v != %+v", m, DecodeKey(k), st, ost)
+			}
+		}
+	}
+	for m, byKey := range o.cells {
+		mine := s.cells[m]
+		for k := range byKey {
+			if _, ok := mine[k]; !ok {
+				note("cuboid %b: cell %v only in other", m, DecodeKey(k))
+			}
+		}
+	}
+	if len(msgs) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d+ differences: %v", len(msgs), msgs)
+}

@@ -1,0 +1,131 @@
+package seq
+
+import (
+	"fmt"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
+)
+
+// ArrayCube (Zhao et al., §2.4.1) stores the cube in dense
+// multi-dimensional arrays addressed by mixed-radix dimension codes — no
+// tuple comparisons, only array indexing. Each cuboid's array is projected
+// from a minimal parent array one level up. As the paper notes, the
+// approach is infeasible for sparse cubes: the base array has ∏cardᵢ
+// slots, so maxCells guards against that blow-up (0 means 64M slots).
+func ArrayCube(rel *relation.Relation, dims []int, cond agg.Condition, maxCells int64, out *disk.Writer, ctr *cost.Counters) error {
+	if maxCells <= 0 {
+		maxCells = 64 << 20
+	}
+	d := len(dims)
+	cards := make([]int64, d)
+	slots := int64(1)
+	for i, dim := range dims {
+		cards[i] = int64(rel.Card(dim))
+		slots *= cards[i]
+		if slots > maxCells {
+			return fmt.Errorf("seq: array cube needs %v+ slots (cardinality product), over the %d budget: data too sparse for the array-based algorithm", slots, maxCells)
+		}
+	}
+
+	arraySize := func(m lattice.Mask) int64 {
+		n := int64(1)
+		for _, p := range m.Dims() {
+			n *= cards[p]
+		}
+		return n
+	}
+	newArray := func(m lattice.Mask) []agg.State {
+		a := make([]agg.State, arraySize(m))
+		for i := range a {
+			a[i] = agg.NewState()
+		}
+		return a
+	}
+	indexOf := func(m lattice.Mask, key func(p int) uint32) int64 {
+		idx := int64(0)
+		for _, p := range m.Dims() {
+			idx = idx*cards[p] + int64(key(p))
+		}
+		return idx
+	}
+
+	full := lattice.Mask(1<<uint(d)) - 1
+	arrays := make(map[lattice.Mask][]agg.State)
+	base := newArray(full)
+	for row := 0; row < rel.Len(); row++ {
+		r := row
+		base[indexOf(full, func(p int) uint32 { return rel.Value(dims[p], r) })].Add(rel.Measure(row))
+	}
+	ctr.TuplesScanned += int64(rel.Len())
+	arrays[full] = base
+
+	// "all" cell.
+	all := agg.NewState()
+	for i := range base {
+		if base[i].Count > 0 {
+			all.Merge(base[i])
+		}
+	}
+	if cond.Holds(all) {
+		out.WriteCell(0, nil, all)
+	}
+
+	emit := func(m lattice.Mask, a []agg.State) {
+		pos := m.Dims()
+		key := make([]uint32, len(pos))
+		for i := range a {
+			if a[i].Count == 0 || !cond.Holds(a[i]) {
+				continue
+			}
+			rem := int64(i)
+			for j := len(pos) - 1; j >= 0; j-- {
+				c := cards[pos[j]]
+				key[j] = uint32(rem % c)
+				rem /= c
+			}
+			out.WriteCell(m, key, a[i])
+		}
+		ctr.TuplesScanned += int64(len(a))
+	}
+	emit(full, base)
+
+	for k := d - 1; k >= 1; k-- {
+		for _, child := range lattice.Level(d, k) {
+			// Project from the smallest parent array available.
+			var parent lattice.Mask
+			first := true
+			for _, cand := range lattice.Level(d, k+1) {
+				if child.SubsetOf(cand) && (first || arraySize(cand) < arraySize(parent)) {
+					parent, first = cand, false
+				}
+			}
+			pa := arrays[parent]
+			ca := newArray(child)
+			ppos := parent.Dims()
+			vals := make(map[int]uint32, len(ppos))
+			for i := range pa {
+				if pa[i].Count == 0 {
+					continue
+				}
+				rem := int64(i)
+				for j := len(ppos) - 1; j >= 0; j-- {
+					c := cards[ppos[j]]
+					vals[ppos[j]] = uint32(rem % c)
+					rem /= c
+				}
+				ca[indexOf(child, func(p int) uint32 { return vals[p] })].Merge(pa[i])
+			}
+			ctr.TuplesScanned += int64(len(pa))
+			arrays[child] = ca
+			emit(child, ca)
+		}
+		for _, m := range lattice.Level(d, k+1) {
+			delete(arrays, m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package seq
+
+import (
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
+)
+
+// cellSink abstracts the output target so PartitionedCube can interpose
+// mask filtering/remapping between recursion levels. *disk.Writer satisfies
+// it.
+type cellSink interface {
+	WriteCell(m lattice.Mask, key []uint32, st agg.State)
+}
+
+// MemoryCube (Ross & Srivastava, §2.4.1, Fig 2.8) computes the cube of an
+// in-memory partition with the minimum number of sort pipelines: its Paths
+// algorithm covers the lattice with the fewest root-anchored paths. The
+// classical realization of that minimum is the symmetric chain
+// decomposition of the boolean lattice — exactly C(d, ⌊d/2⌋) chains, each a
+// sequence of cuboids growing one attribute at a time, which becomes a
+// pipeline by ordering each chain top's attributes so every chain member is
+// a prefix of the next. One sort per chain, pure aggregation inside.
+func MemoryCube(rel *relation.Relation, dims []int, cond agg.Condition, out *disk.Writer, ctr *cost.Counters) {
+	memoryCubeInto(rel, dims, cond, out, ctr)
+}
+
+func memoryCubeInto(rel *relation.Relation, dims []int, cond agg.Condition, out cellSink, ctr *cost.Counters) {
+	first := true
+	for _, chain := range symmetricChains(len(dims)) {
+		order := chainOrder(chain)
+		head := baseCuboid(rel, dims, order, ctr)
+		if first {
+			writeAllCellSink(head, cond, out, ctr)
+			first = false
+		}
+		cur := head
+		cur.writeTo(cond, out)
+		for k := len(chain) - 2; k >= 0; k-- {
+			cur = aggregateChild(cur, len(chain[k]), ctr)
+			cur.writeTo(cond, out)
+		}
+	}
+}
+
+// symmetricChains builds de Bruijn's symmetric chain decomposition of the
+// subset lattice of {0..d-1}: every non-empty subset appears in exactly one
+// chain, and each chain's sets grow by one element. The chain count is
+// C(d, ⌊d/2⌋), the lattice's maximum antichain — provably the fewest
+// pipelines that can cover it.
+func symmetricChains(d int) [][][]int {
+	chains := [][][]int{{{}}} // start with the chain {∅} on zero elements
+	for e := 0; e < d; e++ {
+		var next [][][]int
+		for _, chain := range chains {
+			// Chain A1 ⊂ … ⊂ Ak over elements {0..e-1} yields:
+			//   A1 ⊂ … ⊂ Ak ⊂ Ak∪{e}
+			//   A1∪{e} ⊂ … ⊂ A(k-1)∪{e}   (when k > 1)
+			k := len(chain)
+			grown := make([][]int, 0, k+1)
+			grown = append(grown, chain...)
+			grown = append(grown, withElem(chain[k-1], e))
+			next = append(next, grown)
+			if k > 1 {
+				lifted := make([][]int, 0, k-1)
+				for i := 0; i < k-1; i++ {
+					lifted = append(lifted, withElem(chain[i], e))
+				}
+				next = append(next, lifted)
+			}
+		}
+		chains = next
+	}
+	// Drop the empty set from the one chain that starts with it (the
+	// "all" node is handled separately by writeAllCellSink).
+	out := chains[:0]
+	for _, chain := range chains {
+		if len(chain[0]) == 0 {
+			chain = chain[1:]
+		}
+		if len(chain) > 0 {
+			out = append(out, chain)
+		}
+	}
+	return out
+}
+
+func withElem(set []int, e int) []int {
+	return append(append(make([]int, 0, len(set)+1), set...), e)
+}
+
+// chainOrder derives the pipeline head's attribute order: the smallest
+// set's attributes, then each subsequent addition.
+func chainOrder(chain [][]int) []int {
+	order := append([]int(nil), chain[0]...)
+	seen := make(map[int]bool, len(order))
+	for _, p := range order {
+		seen[p] = true
+	}
+	for _, set := range chain[1:] {
+		for _, p := range set {
+			if !seen[p] {
+				order = append(order, p)
+				seen[p] = true
+			}
+		}
+	}
+	return order
+}
+
+// NumPipelines reports how many sort pipelines MemoryCube uses for d
+// dimensions (C(d, ⌊d/2⌋)) — exposed for the planner tests and the
+// ablation bench.
+func NumPipelines(d int) int {
+	return len(symmetricChains(d))
+}
+
+// PartitionedCube (Ross & Srivastava, §2.4.1, Fig 2.8) handles inputs too
+// large for memory: partition on a high-cardinality attribute into
+// memory-sized fragments, compute all cuboids *containing* that attribute
+// per fragment with MemoryCube (their union is exact because the fragments
+// split that attribute's values), and recurse on the remaining attributes
+// for the rest. memoryTuples is the in-memory budget in tuples.
+func PartitionedCube(rel *relation.Relation, dims []int, cond agg.Condition, memoryTuples int, out *disk.Writer, ctr *cost.Counters) {
+	if memoryTuples < 1 {
+		memoryTuples = 1
+	}
+	partitionedCubeInto(rel, dims, cond, memoryTuples, out, ctr)
+}
+
+func partitionedCubeInto(rel *relation.Relation, dims []int, cond agg.Condition, memoryTuples int, out cellSink, ctr *cost.Counters) {
+	if rel.Len() <= memoryTuples || len(dims) == 1 {
+		memoryCubeInto(rel, dims, cond, out, ctr)
+		return
+	}
+	// Partition on the cube attribute with the highest cardinality: most
+	// fragments, smallest pieces.
+	best := 0
+	for i, d := range dims {
+		if rel.Card(d) > rel.Card(dims[best]) {
+			best = i
+		}
+	}
+	bd := dims[best]
+	nparts := (rel.Len() + memoryTuples - 1) / memoryTuples
+	if nparts > rel.Card(bd) {
+		nparts = rel.Card(bd)
+	}
+	for _, chunk := range rel.RangePartition(bd, nparts) {
+		if len(chunk) == 0 {
+			continue
+		}
+		part := rel.Gather(chunk)
+		ctr.BytesRead += part.SizeBytes()
+		memoryCubeInto(part, dims, cond, &requireBit{out: out, bit: best}, ctr)
+	}
+	// Cuboids without the partitioning attribute come from the recursion
+	// on the projected dimension list.
+	rest := make([]int, 0, len(dims)-1)
+	restPos := make([]int, 0, len(dims)-1)
+	for i, d := range dims {
+		if i != best {
+			rest = append(rest, d)
+			restPos = append(restPos, i)
+		}
+	}
+	partitionedCubeInto(rel, rest, cond, memoryTuples, &remapBits{out: out, positions: restPos}, ctr)
+}
+
+// requireBit drops cells whose cuboid lacks the partitioning attribute
+// (those come from the recursion instead), including "all".
+type requireBit struct {
+	out cellSink
+	bit int
+}
+
+func (f *requireBit) WriteCell(m lattice.Mask, key []uint32, st agg.State) {
+	if m.Has(f.bit) {
+		f.out.WriteCell(m, key, st)
+	}
+}
+
+// remapBits lifts a sub-cube's position space back into the parent's:
+// position i of the sub-cube is position positions[i] of the parent.
+// positions is ascending, so keys stay in canonical order.
+type remapBits struct {
+	out       cellSink
+	positions []int
+}
+
+func (f *remapBits) WriteCell(m lattice.Mask, key []uint32, st agg.State) {
+	var lifted lattice.Mask
+	for _, p := range m.Dims() {
+		lifted |= 1 << uint(f.positions[p])
+	}
+	f.out.WriteCell(lifted, key, st)
+}

@@ -1,0 +1,143 @@
+package seq
+
+import (
+	"sort"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
+)
+
+// Overlap (Naughton et al., §2.4.1) fixes one global sort order (the cube
+// positions ascending, matching the root sort) and computes every cuboid
+// from the parent with the *maximum sort-order overlap*: if a child shares
+// an L-attribute prefix with its parent, the parent consists of one
+// independently sortable partition per prefix value, so only small
+// partition-local sorts are paid. Ties between equally overlapping parents
+// go to the smaller estimated parent.
+func Overlap(rel *relation.Relation, dims []int, cond agg.Condition, out *disk.Writer, ctr *cost.Counters) {
+	d := len(dims)
+	full := lattice.Mask(1<<uint(d)) - 1
+
+	type choice struct {
+		parent lattice.Mask
+		shared int
+	}
+	plan := make(map[lattice.Mask]choice)
+	for k := d - 1; k >= 1; k-- {
+		for _, child := range lattice.Level(d, k) {
+			var best choice
+			bestSize := 0.0
+			first := true
+			for _, parent := range lattice.Level(d, k+1) {
+				if !child.SubsetOf(parent) {
+					continue
+				}
+				shared := lattice.LongestPrefixLen(child, parent)
+				size := estSize(rel, dims, parent)
+				if first || shared > best.shared || (shared == best.shared && size < bestSize) {
+					best, bestSize, first = choice{parent, shared}, size, false
+				}
+			}
+			plan[child] = best
+		}
+	}
+
+	materialized := make(map[lattice.Mask]*cuboid)
+	materialized[full] = baseCuboid(rel, dims, full.Dims(), ctr)
+	writeAllCellSink(materialized[full], cond, out, ctr)
+	materialized[full].writeTo(cond, out)
+	for k := d - 1; k >= 1; k-- {
+		for _, child := range lattice.Level(d, k) {
+			ch := plan[child]
+			c := overlapChild(materialized[ch.parent], child.Dims(), ch.shared, ctr)
+			materialized[child] = c
+			c.writeTo(cond, out)
+		}
+		for _, m := range lattice.Level(d, k+1) {
+			delete(materialized, m)
+		}
+	}
+}
+
+// overlapChild computes a child (ascending order) from a parent sorted in
+// its own ascending order, exploiting an L-attribute shared prefix: the
+// projected cells are already grouped by the prefix, so sorting happens
+// only within each prefix partition.
+func overlapChild(parent *cuboid, childOrder []int, shared int, ctr *cost.Counters) *cuboid {
+	proj := make([]int, len(childOrder))
+	for i, p := range childOrder {
+		for j, q := range parent.order {
+			if q == p {
+				proj[i] = j
+			}
+		}
+	}
+	keys := make([][]uint32, parent.len())
+	for i := range parent.keys {
+		k := make([]uint32, len(proj))
+		for j, src := range proj {
+			k[j] = parent.keys[i][src]
+		}
+		keys[i] = k
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partition boundaries: runs of equal shared prefix (parent is sorted
+	// by its order, whose first `shared` attributes are the child's).
+	var compares int64
+	lo := 0
+	for hi := 1; hi <= len(idx); hi++ {
+		if hi < len(idx) {
+			same := true
+			for i := 0; i < shared; i++ {
+				compares++
+				if keys[hi][i] != keys[hi-1][i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				continue
+			}
+		}
+		part := idx[lo:hi]
+		sort.SliceStable(part, func(a, b int) bool {
+			ka, kb := keys[part[a]], keys[part[b]]
+			for i := shared; i < len(ka); i++ {
+				compares++
+				if ka[i] != kb[i] {
+					return ka[i] < kb[i]
+				}
+			}
+			return false
+		})
+		lo = hi
+	}
+	ctr.AddCompares(compares)
+	ctr.TuplesScanned += int64(parent.len())
+
+	child := &cuboid{order: append([]int(nil), childOrder...)}
+	var cur []uint32
+	var st agg.State
+	flush := func() {
+		if cur != nil {
+			child.keys = append(child.keys, cur)
+			child.states = append(child.states, st)
+		}
+	}
+	for _, i := range idx {
+		if cur == nil || !equalU32(cur, keys[i]) {
+			flush()
+			cur = keys[i]
+			st = agg.NewState()
+		}
+		st.Merge(parent.states[i])
+	}
+	flush()
+	return child
+}

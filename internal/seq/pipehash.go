@@ -1,0 +1,127 @@
+package seq
+
+import (
+	"encoding/binary"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
+)
+
+// PipeHash (§2.4.1, Fig 2.7) computes every cuboid from its smallest
+// estimated parent (a minimum spanning tree over the lattice under the
+// size estimator) using hash tables — no sorting anywhere. The paper's
+// memory-partitioning escape hatch (partition on an attribute when the
+// hash tables overflow, then stitch subtrees) matters for out-of-core
+// inputs; this in-memory implementation charges hash probes instead and
+// retains PipeHash's defining behaviour: it shines on dense cubes and
+// re-hashes every group-by, which is why the thesis's AHT work (and the
+// dense-cube recipe entries) descend from it.
+func PipeHash(rel *relation.Relation, dims []int, cond agg.Condition, out *disk.Writer, ctr *cost.Counters) {
+	d := len(dims)
+	full := lattice.Mask(1<<uint(d)) - 1
+
+	// MST: each node's parent is its smallest superset one level up.
+	parentOf := make(map[lattice.Mask]lattice.Mask)
+	for k := d - 1; k >= 1; k-- {
+		for _, child := range lattice.Level(d, k) {
+			best := lattice.Mask(0)
+			bestSize := 0.0
+			for _, parent := range lattice.Level(d, k+1) {
+				if !child.SubsetOf(parent) {
+					continue
+				}
+				size := estSize(rel, dims, parent)
+				if best == 0 || size < bestSize || (size == bestSize && parent < best) {
+					best, bestSize = parent, size
+				}
+			}
+			parentOf[child] = best
+		}
+	}
+
+	materialized := make(map[lattice.Mask]*cuboid)
+	materialized[full] = hashBase(rel, dims, ctr)
+	writeAllCellSink(materialized[full], cond, out, ctr)
+	materialized[full].writeTo(cond, out)
+	for k := d - 1; k >= 1; k-- {
+		for _, child := range lattice.Level(d, k) {
+			c := hashChild(materialized[parentOf[child]], child.Dims(), ctr)
+			materialized[child] = c
+			c.writeTo(cond, out)
+		}
+		for _, m := range lattice.Level(d, k+1) {
+			delete(materialized, m)
+		}
+	}
+}
+
+// hashBase builds the root cuboid with a hash table over the raw data.
+func hashBase(rel *relation.Relation, dims []int, ctr *cost.Counters) *cuboid {
+	order := make([]int, len(dims))
+	for i := range order {
+		order[i] = i
+	}
+	table := make(map[string]*agg.State, rel.Len())
+	buf := make([]byte, 4*len(dims))
+	for row := 0; row < rel.Len(); row++ {
+		for i, d := range dims {
+			binary.LittleEndian.PutUint32(buf[4*i:], rel.Value(d, row))
+		}
+		ctr.HashOps++
+		st := table[string(buf)]
+		if st == nil {
+			ns := agg.NewState()
+			st = &ns
+			table[string(buf)] = st
+		}
+		st.Add(rel.Measure(row))
+	}
+	ctr.TuplesScanned += int64(rel.Len())
+	return tableToCuboid(table, order)
+}
+
+// hashChild re-hashes the parent's cells onto the child's positions.
+func hashChild(parent *cuboid, childOrder []int, ctr *cost.Counters) *cuboid {
+	proj := make([]int, len(childOrder))
+	for i, p := range childOrder {
+		for j, q := range parent.order {
+			if q == p {
+				proj[i] = j
+			}
+		}
+	}
+	table := make(map[string]*agg.State, parent.len())
+	buf := make([]byte, 4*len(childOrder))
+	for i := range parent.keys {
+		for j, src := range proj {
+			binary.LittleEndian.PutUint32(buf[4*j:], parent.keys[i][src])
+		}
+		ctr.HashOps++
+		st := table[string(buf)]
+		if st == nil {
+			ns := agg.NewState()
+			st = &ns
+			table[string(buf)] = st
+		}
+		st.Merge(parent.states[i])
+	}
+	ctr.TuplesScanned += int64(parent.len())
+	return tableToCuboid(table, childOrder)
+}
+
+// tableToCuboid materializes a hash table as an (unsorted-order) cuboid.
+func tableToCuboid(table map[string]*agg.State, order []int) *cuboid {
+	c := &cuboid{order: append([]int(nil), order...)}
+	for k, st := range table {
+		key := make([]uint32, len(order))
+		for i := range key {
+			key[i] = binary.LittleEndian.Uint32([]byte(k[4*i : 4*i+4]))
+		}
+		c.keys = append(c.keys, key)
+		c.states = append(c.states, *st)
+	}
+	return c
+}

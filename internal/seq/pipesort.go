@@ -1,0 +1,127 @@
+package seq
+
+import (
+	"sort"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
+)
+
+// PipeSort (§2.4.1, Figs 2.5/2.6) plans a processing tree level by level:
+// each node at level k picks a parent at level k+1, paying cost A(X) if it
+// can ride the parent's sort order (at most one child per parent — the
+// pipeline continuation) or S(X) if the parent must be re-sorted. The
+// minimum-cost matching is approximated greedily (largest children choose
+// first), which preserves the plan structure the paper relies on; the
+// execution stage then runs each root-to-leaf pipeline with one sort at the
+// pipeline head and pure aggregation below.
+func PipeSort(rel *relation.Relation, dims []int, cond agg.Condition, out *disk.Writer, ctr *cost.Counters) {
+	d := len(dims)
+	type edge struct {
+		parent lattice.Mask
+		pipe   bool // true: A(X) no-sort edge (pipeline continuation)
+	}
+	plan := make(map[lattice.Mask]edge)
+
+	// Level-by-level greedy matching, top level downwards.
+	full := lattice.Mask(1<<uint(d)) - 1
+	for k := d - 1; k >= 1; k-- {
+		children := lattice.Level(d, k)
+		// Larger (estimated) children commit first: they benefit most
+		// from a free pipeline edge.
+		sort.Slice(children, func(a, b int) bool {
+			sa, sb := estSize(rel, dims, children[a]), estSize(rel, dims, children[b])
+			if sa != sb {
+				return sa > sb
+			}
+			return children[a] < children[b]
+		})
+		pipeTaken := make(map[lattice.Mask]bool)
+		for _, child := range children {
+			bestCost := 0.0
+			var best edge
+			first := true
+			for _, parent := range lattice.Level(d, k+1) {
+				if !child.SubsetOf(parent) {
+					continue
+				}
+				size := estSize(rel, dims, parent)
+				// A(X): free ride on the parent's order, if unclaimed.
+				if !pipeTaken[parent] {
+					if c := size; first || c < bestCost {
+						bestCost, best, first = c, edge{parent, true}, false
+					}
+				}
+				// S(X): re-sort the parent (cost grows with size·log).
+				if c := size * 3; first || c < bestCost {
+					bestCost, best, first = c, edge{parent, false}, false
+				}
+			}
+			plan[child] = best
+			if best.pipe {
+				pipeTaken[best.parent] = true
+			}
+		}
+	}
+
+	// Derive attribute orders: a node's order starts with its pipeline
+	// child's order (so the child is a prefix), then the leftovers.
+	pipeChild := make(map[lattice.Mask]lattice.Mask)
+	for child, e := range plan {
+		if e.pipe {
+			pipeChild[e.parent] = child
+		}
+	}
+	var orderOf func(m lattice.Mask) []int
+	memo := make(map[lattice.Mask][]int)
+	orderOf = func(m lattice.Mask) []int {
+		if o, ok := memo[m]; ok {
+			return o
+		}
+		var order []int
+		if c, ok := pipeChild[m]; ok {
+			order = append(order, orderOf(c)...)
+		}
+		for _, p := range m.Dims() {
+			present := false
+			for _, q := range order {
+				if q == p {
+					present = true
+				}
+			}
+			if !present {
+				order = append(order, p)
+			}
+		}
+		memo[m] = order
+		return order
+	}
+
+	// Execution: materialize top-down; pipeline edges aggregate in one
+	// scan, sort edges re-sort the parent's cells.
+	materialized := make(map[lattice.Mask]*cuboid)
+	materialized[full] = baseCuboid(rel, dims, orderOf(full), ctr)
+	writeAllCellSink(materialized[full], cond, out, ctr)
+	materialized[full].writeTo(cond, out)
+	for k := d - 1; k >= 1; k-- {
+		for _, child := range lattice.Level(d, k) {
+			e := plan[child]
+			parent := materialized[e.parent]
+			var c *cuboid
+			if e.pipe {
+				c = aggregateChild(parent, k, ctr)
+			} else {
+				c = resortChild(parent, orderOf(child), ctr)
+			}
+			materialized[child] = c
+			c.writeTo(cond, out)
+		}
+		// Parents of this level are no longer needed.
+		for _, m := range lattice.Level(d, k+1) {
+			delete(materialized, m)
+		}
+	}
+}

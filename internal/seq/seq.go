@@ -1,0 +1,230 @@
+// Package seq implements the sequential CUBE algorithms the paper reviews
+// in Chapter 2 and positions its parallel algorithms against: PipeSort and
+// PipeHash (Sarawagi et al.), Overlap (Naughton et al.), PartitionedCube /
+// MemoryCube (Ross & Srivastava), and the array-based algorithm (Zhao et
+// al.). They are top-down: every cuboid is computed from a parent cuboid
+// (never re-reading the raw data once the root is built) and iceberg
+// conditions can only be applied on output, never used for pruning — the
+// contrast that motivates BUC and the bottom-up parallel algorithms.
+//
+// All of them share a materialized-cuboid representation: a cuboid's cells
+// are rows of (key, aggregate state) where the key is ordered by the
+// cuboid's own attribute ORDER (top-down algorithms choose orders to share
+// sorts; keys are reordered to canonical ascending-position order only when
+// cells are written out).
+package seq
+
+import (
+	"sort"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
+)
+
+// cuboid is one materialized group-by: order lists the cube positions in
+// the cuboid's sort order; cells are sorted lexicographically by key in
+// that order.
+type cuboid struct {
+	order  []int
+	keys   [][]uint32
+	states []agg.State
+}
+
+func (c *cuboid) len() int { return len(c.keys) }
+
+func (c *cuboid) mask() lattice.Mask {
+	var m lattice.Mask
+	for _, p := range c.order {
+		m |= 1 << uint(p)
+	}
+	return m
+}
+
+// writeTo emits the cuboid's qualifying cells with keys in canonical
+// ascending-position order.
+func (c *cuboid) writeTo(cond agg.Condition, out cellSink) {
+	mask := c.mask()
+	asc := mask.Dims()
+	perm := make([]int, len(asc)) // perm[i] = index in c.order of asc[i]
+	for i, p := range asc {
+		for j, q := range c.order {
+			if q == p {
+				perm[i] = j
+			}
+		}
+	}
+	key := make([]uint32, len(asc))
+	for i := range c.keys {
+		if !cond.Holds(c.states[i]) {
+			continue
+		}
+		for j, src := range perm {
+			key[j] = c.keys[i][src]
+		}
+		out.WriteCell(mask, key, c.states[i])
+	}
+}
+
+// baseCuboid materializes the root cuboid (all cube positions) directly
+// from the relation, sorted by the given position order.
+func baseCuboid(rel *relation.Relation, dims []int, order []int, ctr *cost.Counters) *cuboid {
+	relDims := make([]int, len(order))
+	for i, p := range order {
+		relDims[i] = dims[p]
+	}
+	view := rel.Identity()
+	rel.SortView(view, relDims, ctr)
+	ctr.TuplesScanned += int64(rel.Len())
+
+	c := &cuboid{order: append([]int(nil), order...)}
+	var cur []uint32
+	var st agg.State
+	flush := func() {
+		if cur != nil {
+			c.keys = append(c.keys, cur)
+			c.states = append(c.states, st)
+		}
+	}
+	for _, row := range view {
+		key := make([]uint32, len(relDims))
+		for i, d := range relDims {
+			key[i] = rel.Value(d, int(row))
+		}
+		if cur == nil || !equalU32(cur, key) {
+			flush()
+			cur = key
+			st = agg.NewState()
+		}
+		st.Add(rel.Measure(int(row)))
+	}
+	flush()
+	return c
+}
+
+func equalU32(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// aggregateChild computes a child cuboid from parent when the child's order
+// is a *prefix* of the parent's order — one linear scan, no sorting (the
+// pipeline step every top-down algorithm builds on).
+func aggregateChild(parent *cuboid, prefixLen int, ctr *cost.Counters) *cuboid {
+	child := &cuboid{order: append([]int(nil), parent.order[:prefixLen]...)}
+	var cur []uint32
+	var st agg.State
+	flush := func() {
+		if cur != nil {
+			child.keys = append(child.keys, cur)
+			child.states = append(child.states, st)
+		}
+	}
+	for i := range parent.keys {
+		key := parent.keys[i][:prefixLen]
+		if cur == nil || !equalU32(cur, key) {
+			ctr.AddCompares(int64(prefixLen))
+			flush()
+			cur = append([]uint32(nil), key...)
+			st = agg.NewState()
+		}
+		st.Merge(parent.states[i])
+	}
+	ctr.TuplesScanned += int64(parent.len())
+	flush()
+	return child
+}
+
+// resortChild computes a child cuboid from parent for an arbitrary child
+// order (subset of parent's positions): project, sort, aggregate — the
+// S(X)-cost edge of PipeSort.
+func resortChild(parent *cuboid, childOrder []int, ctr *cost.Counters) *cuboid {
+	proj := make([]int, len(childOrder)) // index within parent.order
+	for i, p := range childOrder {
+		proj[i] = -1
+		for j, q := range parent.order {
+			if q == p {
+				proj[i] = j
+			}
+		}
+		if proj[i] < 0 {
+			panic("seq: child order is not a subset of parent order")
+		}
+	}
+	keys := make([][]uint32, parent.len())
+	for i := range parent.keys {
+		k := make([]uint32, len(proj))
+		for j, src := range proj {
+			k[j] = parent.keys[i][src]
+		}
+		keys[i] = k
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	var compares int64
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i := range ka {
+			compares++
+			if ka[i] != kb[i] {
+				return ka[i] < kb[i]
+			}
+		}
+		return false
+	})
+	ctr.AddCompares(compares)
+	ctr.TuplesScanned += int64(parent.len())
+
+	child := &cuboid{order: append([]int(nil), childOrder...)}
+	var cur []uint32
+	var st agg.State
+	flush := func() {
+		if cur != nil {
+			child.keys = append(child.keys, cur)
+			child.states = append(child.states, st)
+		}
+	}
+	for _, i := range idx {
+		if cur == nil || !equalU32(cur, keys[i]) {
+			flush()
+			cur = keys[i]
+			st = agg.NewState()
+		}
+		st.Merge(parent.states[i])
+	}
+	flush()
+	return child
+}
+
+// writeAllCellSink emits the "all" aggregate from any materialized cuboid.
+func writeAllCellSink(c *cuboid, cond agg.Condition, out cellSink, ctr *cost.Counters) {
+	st := agg.NewState()
+	for i := range c.states {
+		st.Merge(c.states[i])
+	}
+	ctr.TuplesScanned += int64(c.len())
+	if cond.Holds(st) {
+		out.WriteCell(0, nil, st)
+	}
+}
+
+// estSize estimates a cuboid's cell count as min(∏ cardinalities, N) — the
+// estimator PipeSort/PipeHash plan with (and the reason their plans go
+// wrong on sparse data, §2.4.1).
+func estSize(rel *relation.Relation, dims []int, mask lattice.Mask) float64 {
+	est := 1.0
+	for _, p := range mask.Dims() {
+		est *= float64(rel.Card(dims[p]))
+		if est > float64(rel.Len()) {
+			return float64(rel.Len())
+		}
+	}
+	return est
+}

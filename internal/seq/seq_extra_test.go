@@ -1,0 +1,105 @@
+package seq
+
+import (
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/gen"
+	"icebergcube/internal/results"
+)
+
+// TestAllSequentialAgree: the five baselines must emit identical cell sets
+// on a skewed workload (pairwise, not just vs naive) — catching planner
+// bugs that drop or duplicate cuboids.
+func TestAllSequentialAgree(t *testing.T) {
+	rel := gen.Weather(1200, 5)
+	dims := []int{15, 16, 17, 18, 19} // the small-cardinality tail
+	var ref *results.Set
+	refName := ""
+	for _, a := range seqAlgos() {
+		got := results.NewSet()
+		var ctr cost.Counters
+		a.run(rel, dims, agg.MinSupport(2), disk.NewWriter(&ctr, got), &ctr)
+		if ref == nil {
+			ref, refName = got, a.name
+			continue
+		}
+		if diff := ref.Diff(got); diff != "" {
+			t.Fatalf("%s differs from %s: %s", a.name, refName, diff)
+		}
+	}
+}
+
+// TestPartitionedCubeDeepRecursion: a tiny memory budget forces recursion
+// through several partitioning attributes; the answer must survive it.
+func TestPartitionedCubeDeepRecursion(t *testing.T) {
+	rel := seqRel(800, 4, 31)
+	dims := dimsOf(rel)
+	want := results.NewSet()
+	var wctr cost.Counters
+	MemoryCube(rel, dims, agg.MinSupport(1), disk.NewWriter(&wctr, want), &wctr)
+	for _, budget := range []int{1, 10, 50, 799} {
+		got := results.NewSet()
+		var ctr cost.Counters
+		PartitionedCube(rel, dims, agg.MinSupport(1), budget, disk.NewWriter(&ctr, got), &ctr)
+		if diff := want.Diff(got); diff != "" {
+			t.Fatalf("budget=%d: PartitionedCube differs: %s", budget, diff)
+		}
+	}
+}
+
+// TestOverlapSortsLessThanResort: Overlap's partition-local sorts must
+// spend fewer comparisons than PipeSort-style full re-sorts of every
+// non-pipeline child (the algorithm's entire point).
+func TestOverlapSortsLessThanResort(t *testing.T) {
+	rel := seqRel(3000, 5, 71)
+	dims := dimsOf(rel)
+	var overlap cost.Counters
+	Overlap(rel, dims, agg.MinSupport(1), disk.NewWriter(&overlap, nil), &overlap)
+
+	var straw cost.Counters
+	base := baseCuboid(rel, dims, []int{0, 1, 2, 3, 4}, &straw)
+	for m := 1; m < 1<<5; m++ {
+		var order []int
+		for p := 0; p < 5; p++ {
+			if m&(1<<p) != 0 {
+				order = append(order, p)
+			}
+		}
+		resortChild(base, order, &straw)
+	}
+	if overlap.Compares >= straw.Compares {
+		t.Fatalf("Overlap compares (%d) should beat resort-everything (%d)", overlap.Compares, straw.Compares)
+	}
+}
+
+// TestIcebergOutputOnlyFiltering: top-down algorithms filter at output —
+// raising the threshold must not change any surviving cell's aggregates.
+func TestIcebergOutputOnlyFiltering(t *testing.T) {
+	rel := seqRel(500, 3, 3)
+	dims := dimsOf(rel)
+	full := results.NewSet()
+	var c1 cost.Counters
+	PipeSort(rel, dims, agg.MinSupport(1), disk.NewWriter(&c1, full), &c1)
+	iceberg := results.NewSet()
+	var c2 cost.Counters
+	PipeSort(rel, dims, agg.MinSupport(3), disk.NewWriter(&c2, iceberg), &c2)
+
+	want := full.Filter(agg.MinSupport(3))
+	if diff := want.Diff(iceberg); diff != "" {
+		t.Fatalf("iceberg output ≠ filtered full cube: %s", diff)
+	}
+}
+
+// TestEstSizeCaps: the planner's estimator is min(∏card, N).
+func TestEstSizeCaps(t *testing.T) {
+	rel := seqRel(100, 3, 1) // cards 3,5,7
+	if got := estSize(rel, dimsOf(rel), 0b001); got != 3 {
+		t.Fatalf("estSize(A) = %v", got)
+	}
+	if got := estSize(rel, dimsOf(rel), 0b111); got != 100 {
+		t.Fatalf("estSize(ABC) = %v, want the N cap", got)
+	}
+}

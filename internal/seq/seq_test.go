@@ -1,0 +1,172 @@
+package seq
+
+import (
+	"strings"
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/core"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/gen"
+	"icebergcube/internal/relation"
+	"icebergcube/internal/results"
+)
+
+func seqRel(tuples, dims int, seed int64) *relation.Relation {
+	cards := make([]int, dims)
+	skew := make([]float64, dims)
+	for i := range cards {
+		cards[i] = 3 + 2*i
+		skew[i] = 1 + float64(i%2)
+	}
+	return gen.Generate(gen.Spec{Cards: cards, Skew: skew, Tuples: tuples, Seed: seed})
+}
+
+func dimsOf(rel *relation.Relation) []int {
+	out := make([]int, rel.NumDims())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+type seqAlgo struct {
+	name string
+	run  func(rel *relation.Relation, dims []int, cond agg.Condition, out *disk.Writer, ctr *cost.Counters)
+}
+
+func seqAlgos() []seqAlgo {
+	return []seqAlgo{
+		{"PipeSort", PipeSort},
+		{"PipeHash", PipeHash},
+		{"Overlap", Overlap},
+		{"MemoryCube", MemoryCube},
+		{"PartitionedCube", func(rel *relation.Relation, dims []int, cond agg.Condition, out *disk.Writer, ctr *cost.Counters) {
+			PartitionedCube(rel, dims, cond, 100, out, ctr) // force partitioning
+		}},
+		{"ArrayCube", func(rel *relation.Relation, dims []int, cond agg.Condition, out *disk.Writer, ctr *cost.Counters) {
+			if err := ArrayCube(rel, dims, cond, 0, out, ctr); err != nil {
+				panic(err)
+			}
+		}},
+	}
+}
+
+// TestSequentialAlgorithmsMatchNaive verifies all Chapter 2 baselines
+// against the brute-force oracle, full cube and iceberg thresholds alike.
+func TestSequentialAlgorithmsMatchNaive(t *testing.T) {
+	for _, sh := range []struct {
+		tuples, dims int
+		minsup       int64
+	}{
+		{200, 3, 1},
+		{400, 4, 1},
+		{400, 4, 2},
+		{600, 5, 3},
+		{150, 2, 1},
+		{100, 1, 1},
+	} {
+		rel := seqRel(sh.tuples, sh.dims, int64(sh.tuples^sh.dims))
+		dims := dimsOf(rel)
+		want := core.NaiveCube(rel, dims, agg.MinSupport(sh.minsup))
+		for _, a := range seqAlgos() {
+			got := results.NewSet()
+			var ctr cost.Counters
+			a.run(rel, dims, agg.MinSupport(sh.minsup), disk.NewWriter(&ctr, got), &ctr)
+			if diff := want.Diff(got); diff != "" {
+				t.Fatalf("%s (%+v) differs from naive: %s", a.name, sh, diff)
+			}
+		}
+	}
+}
+
+// TestSymmetricChainsCoverLattice: every non-empty subset appears exactly
+// once, chains grow one element at a time, and the chain count is
+// C(d,⌊d/2⌋).
+func TestSymmetricChainsCoverLattice(t *testing.T) {
+	binom := func(n, k int) int {
+		r := 1
+		for i := 0; i < k; i++ {
+			r = r * (n - i) / (i + 1)
+		}
+		return r
+	}
+	for d := 1; d <= 10; d++ {
+		chains := symmetricChains(d)
+		if got, want := len(chains), binom(d, d/2); got != want {
+			t.Fatalf("d=%d: %d chains, want C(%d,%d)=%d", d, got, d, d/2, want)
+		}
+		seen := make(map[uint32]bool)
+		for _, chain := range chains {
+			for i, set := range chain {
+				var m uint32
+				for _, e := range set {
+					m |= 1 << uint(e)
+				}
+				if m == 0 {
+					t.Fatalf("d=%d: empty set left in a chain", d)
+				}
+				if seen[m] {
+					t.Fatalf("d=%d: subset %b in two chains", d, m)
+				}
+				seen[m] = true
+				if i > 0 && len(set) != len(chain[i-1])+1 {
+					t.Fatalf("d=%d: chain step not +1 element", d)
+				}
+			}
+		}
+		if len(seen) != (1<<uint(d))-1 {
+			t.Fatalf("d=%d: covered %d subsets, want %d", d, len(seen), (1<<uint(d))-1)
+		}
+	}
+}
+
+// TestArrayCubeSparsityGuard: the array algorithm must refuse inputs whose
+// cardinality product exceeds the budget, as §2.4.1 concludes.
+func TestArrayCubeSparsityGuard(t *testing.T) {
+	rel := gen.Generate(gen.Spec{Cards: []int{1000, 1000, 1000}, Tuples: 50, Seed: 1})
+	var ctr cost.Counters
+	err := ArrayCube(rel, dimsOf(rel), agg.MinSupport(1), 1<<20, disk.NewWriter(&ctr, nil), &ctr)
+	if err == nil || !strings.Contains(err.Error(), "sparse") {
+		t.Fatalf("expected sparsity refusal, got %v", err)
+	}
+}
+
+// TestPipeSortSharesSorts: PipeSort must spend meaningfully fewer
+// comparisons than re-sorting every cuboid from the root (it pipelines),
+// measured against a plan that always resorts.
+func TestPipeSortSharesSorts(t *testing.T) {
+	rel := seqRel(2000, 5, 77)
+	dims := dimsOf(rel)
+	var pipe cost.Counters
+	PipeSort(rel, dims, agg.MinSupport(1), disk.NewWriter(&pipe, nil), &pipe)
+
+	// Strawman: compute every cuboid independently from the base cuboid
+	// with a full re-sort.
+	var straw cost.Counters
+	base := baseCuboid(rel, dims, []int{0, 1, 2, 3, 4}, &straw)
+	for m := 1; m < 1<<5; m++ {
+		var order []int
+		for p := 0; p < 5; p++ {
+			if m&(1<<p) != 0 {
+				order = append(order, p)
+			}
+		}
+		resortChild(base, order, &straw)
+	}
+	if pipe.Compares >= straw.Compares {
+		t.Fatalf("PipeSort compares (%d) should beat resort-everything (%d)", pipe.Compares, straw.Compares)
+	}
+}
+
+// TestMemoryCubeMinimalPipelines spot-checks the published pipeline counts
+// (Fig 2.8(b) shows six pipelines for a 4-dimension cube).
+func TestMemoryCubeMinimalPipelines(t *testing.T) {
+	want := map[int]int{1: 1, 2: 2, 3: 3, 4: 6, 5: 10, 9: 126}
+	for d, n := range want {
+		if got := NumPipelines(d); got != n {
+			t.Fatalf("NumPipelines(%d) = %d, want %d", d, got, n)
+		}
+	}
+}

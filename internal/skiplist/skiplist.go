@@ -1,0 +1,289 @@
+// Package skiplist implements W. Pugh's probabilistic skip list (§3.3.1,
+// Fig 3.7) specialized for cube cells: keys are composite dimension-value
+// tuples and payloads are aggregate states. It is the cell store of
+// algorithm ASL and of the online aggregation algorithm POL.
+//
+// The properties the algorithms rely on are: ordered iteration (cells come
+// out sorted, so cuboids are written in sort order and prefix
+// re-aggregation is a linear scan), incremental insertion (the data set
+// need not be loaded before "sorting" starts), and cheap ordered merge of
+// two lists over disjoint key ranges (POL's skip-list partitions).
+//
+// Key comparisons are charged element-by-element to a CompareCounter so the
+// cost of long composite keys at high dimensionality (Fig 4.4) is measured
+// rather than assumed.
+package skiplist
+
+import (
+	"math/rand"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/relation"
+)
+
+// MaxLevel caps node height; the paper's implementation allows at most 16
+// forward links per node.
+const MaxLevel = 16
+
+// p is the level-promotion probability (Pugh's classic 1/4 keeps pointer
+// overhead below two links per node on average).
+const p = 0.25
+
+type node struct {
+	key   []uint32
+	state agg.State
+	next  []*node
+}
+
+// List is a skip list from composite keys to aggregate states.
+type List struct {
+	head   *node
+	level  int
+	length int
+	rng    *rand.Rand
+	ctr    relation.CompareCounter
+}
+
+// New returns an empty list. seed makes node heights deterministic; ctr
+// (may be nil) receives key-element comparison counts.
+func New(seed int64, ctr relation.CompareCounter) *List {
+	if ctr == nil {
+		ctr = relation.NopCounter()
+	}
+	return &List{
+		head:  &node{next: make([]*node, MaxLevel)},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+		ctr:   ctr,
+	}
+}
+
+// Len returns the number of cells in the list.
+func (l *List) Len() int { return l.length }
+
+// compare lexicographically compares keys, charging the elements inspected.
+func (l *List) compare(a, b []uint32) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			l.ctr.AddCompares(int64(i + 1))
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	l.ctr.AddCompares(int64(n))
+	if len(a) == len(b) {
+		return 0
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 1
+}
+
+func (l *List) randomLevel() int {
+	lvl := 1
+	for lvl < MaxLevel && l.rng.Float64() < p {
+		lvl++
+	}
+	return lvl
+}
+
+// findUpdate locates the rightmost node before key at every level.
+func (l *List) findUpdate(key []uint32, update []*node) *node {
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && l.compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	return x.next[0]
+}
+
+// Add folds one measure into the cell with the given key, creating the cell
+// if absent. It reports whether a new cell was created. The key is copied
+// on insert, so callers may reuse their buffer.
+func (l *List) Add(key []uint32, measure float64) bool {
+	var update [MaxLevel]*node
+	cand := l.findUpdate(key, update[:])
+	if cand != nil && l.compare(cand.key, key) == 0 {
+		cand.state.Add(measure)
+		return false
+	}
+	l.insert(key, update[:], func(n *node) { n.state.Add(measure) })
+	return true
+}
+
+// MergeState folds an aggregate state (over tuples disjoint from the cell's
+// current contents) into the cell with the given key, creating it if
+// absent. Used by subset-create (ASL) and by POL's skip-list merges.
+func (l *List) MergeState(key []uint32, st agg.State) bool {
+	var update [MaxLevel]*node
+	cand := l.findUpdate(key, update[:])
+	if cand != nil && l.compare(cand.key, key) == 0 {
+		cand.state.Merge(st)
+		return false
+	}
+	l.insert(key, update[:], func(n *node) { n.state = st })
+	return true
+}
+
+func (l *List) insert(key []uint32, update []*node, init func(*node)) {
+	lvl := l.randomLevel()
+	if lvl > l.level {
+		for i := l.level; i < lvl; i++ {
+			update[i] = l.head
+		}
+		l.level = lvl
+	}
+	n := &node{
+		key:   append([]uint32(nil), key...),
+		state: agg.NewState(),
+		next:  make([]*node, lvl),
+	}
+	init(n)
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	l.length++
+}
+
+// Get returns the state for key and whether the cell exists.
+func (l *List) Get(key []uint32) (agg.State, bool) {
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && l.compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	c := x.next[0]
+	if c != nil && l.compare(c.key, key) == 0 {
+		return c.state, true
+	}
+	return agg.State{}, false
+}
+
+// Scan visits every cell in key order. The callback must not retain key
+// across calls. Returning false stops the scan.
+func (l *List) Scan(fn func(key []uint32, st agg.State) bool) {
+	for x := l.head.next[0]; x != nil; x = x.next[0] {
+		if !fn(x.key, x.state) {
+			return
+		}
+	}
+}
+
+// ScanPrefixGroups aggregates cells by the first k key elements — a linear
+// pass, because the list is sorted — and calls fn once per group with the
+// merged state. This is ASL's prefix-reuse (subroutine prefix-reuse,
+// Fig 3.8): computing cuboid ABC from the skip list of ABCD without
+// building a new list.
+func (l *List) ScanPrefixGroups(k int, fn func(prefix []uint32, st agg.State)) {
+	x := l.head.next[0]
+	if x == nil {
+		return
+	}
+	cur := append([]uint32(nil), x.key[:k]...)
+	st := agg.NewState()
+	st.Merge(x.state)
+	for x = x.next[0]; x != nil; x = x.next[0] {
+		if !equalPrefix(x.key, cur, k, l.ctr) {
+			fn(cur, st)
+			copy(cur, x.key[:k])
+			st = agg.NewState()
+		}
+		st.Merge(x.state)
+	}
+	fn(cur, st)
+}
+
+func equalPrefix(key, cur []uint32, k int, ctr relation.CompareCounter) bool {
+	for i := 0; i < k; i++ {
+		if key[i] != cur[i] {
+			ctr.AddCompares(int64(i + 1))
+			return false
+		}
+	}
+	ctr.AddCompares(int64(k))
+	return true
+}
+
+// Merge folds every cell of other into l (states merge; other is unchanged).
+// POL uses it when a stolen task's freshly built list is shipped to the
+// owning processor (§5.3.2).
+func (l *List) Merge(other *List) {
+	other.Scan(func(key []uint32, st agg.State) bool {
+		l.MergeState(key, st)
+		return true
+	})
+}
+
+// Builder constructs a list from keys arriving in non-decreasing order —
+// O(1) links per cell instead of a top-down search, the payoff of sharing
+// a sort order with a previous task (§4.9.2's extended affinity). Appends
+// of the current maximum key merge into the tail cell.
+type Builder struct {
+	list  *List
+	tails [MaxLevel]*node
+}
+
+// NewBuilder returns a builder over a fresh list.
+func NewBuilder(seed int64, ctr relation.CompareCounter) *Builder {
+	b := &Builder{list: New(seed, ctr)}
+	for i := range b.tails {
+		b.tails[i] = b.list.head
+	}
+	return b
+}
+
+// Append adds a cell whose key is ≥ every key appended so far (equal keys
+// merge). It panics if keys regress, since that would corrupt the order
+// invariant every consumer relies on.
+func (b *Builder) Append(key []uint32, st agg.State) {
+	l := b.list
+	tail := b.tails[0]
+	if tail != l.head {
+		switch l.compare(tail.key, key) {
+		case 0:
+			tail.state.Merge(st)
+			return
+		case 1:
+			panic("skiplist: Builder.Append keys must be non-decreasing")
+		}
+	}
+	lvl := l.randomLevel()
+	if lvl > l.level {
+		l.level = lvl
+	}
+	n := &node{
+		key:   append([]uint32(nil), key...),
+		state: agg.NewState(),
+		next:  make([]*node, lvl),
+	}
+	n.state.Merge(st)
+	for i := 0; i < lvl; i++ {
+		b.tails[i].next[i] = n
+		b.tails[i] = n
+	}
+	l.length++
+}
+
+// List returns the built list; the builder must not be used afterwards.
+func (b *Builder) List() *List { return b.list }
+
+// SizeBytes estimates the list's memory footprint (key elements plus state
+// plus forward links), for memory-occupation accounting (§4.1).
+func (l *List) SizeBytes() int64 {
+	var total int64
+	for x := l.head.next[0]; x != nil; x = x.next[0] {
+		total += int64(4*len(x.key)) + 32 + int64(8*len(x.next))
+	}
+	return total
+}

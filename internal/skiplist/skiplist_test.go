@@ -1,0 +1,336 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"icebergcube/internal/agg"
+)
+
+// refModel aggregates the same stream into a plain map for comparison.
+type refModel map[string]agg.State
+
+func keyString(k []uint32) string {
+	b := make([]byte, 0, 4*len(k))
+	for _, v := range k {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func (m refModel) add(k []uint32, meas float64) {
+	s, ok := m[keyString(k)]
+	if !ok {
+		s = agg.NewState()
+	}
+	s.Add(meas)
+	m[keyString(k)] = s
+}
+
+// TestAddGetAgainstMap is the core property test: a skip list fed a random
+// stream agrees with a hash map cell for cell.
+func TestAddGetAgainstMap(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New(seed, nil)
+		ref := refModel{}
+		keys := make([][]uint32, 0, int(n)+1)
+		for i := 0; i <= int(n)%500; i++ {
+			k := []uint32{uint32(rng.Intn(8)), uint32(rng.Intn(6)), uint32(rng.Intn(4))}
+			m := float64(rng.Intn(100))
+			l.Add(k, m)
+			ref.add(k, m)
+			keys = append(keys, k)
+		}
+		if l.Len() != len(ref) {
+			return false
+		}
+		for _, k := range keys {
+			st, ok := l.Get(k)
+			want := ref[keyString(k)]
+			if !ok || st.Count != want.Count || st.Sum != want.Sum || st.Min != want.Min || st.Max != want.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanIsSorted: iteration must always yield keys in strictly increasing
+// lexicographic order.
+func TestScanIsSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New(seed, nil)
+		for i := 0; i < 300; i++ {
+			l.Add([]uint32{uint32(rng.Intn(10)), uint32(rng.Intn(10))}, 1)
+		}
+		var prev []uint32
+		ok := true
+		l.Scan(func(k []uint32, _ agg.State) bool {
+			if prev != nil && !lessU32(prev, k) {
+				ok = false
+				return false
+			}
+			prev = append(prev[:0], k...)
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lessU32(a, b []uint32) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// TestScanPrefixGroups: prefix aggregation must equal re-aggregating from
+// scratch (ASL's prefix-reuse correctness).
+func TestScanPrefixGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := New(1, nil)
+	ref := refModel{}
+	for i := 0; i < 2000; i++ {
+		k := []uint32{uint32(rng.Intn(6)), uint32(rng.Intn(5)), uint32(rng.Intn(4))}
+		m := float64(rng.Intn(50))
+		l.Add(k, m)
+		ref.add(k[:2], m) // reference groups by the 2-element prefix
+	}
+	got := 0
+	l.ScanPrefixGroups(2, func(prefix []uint32, st agg.State) {
+		got++
+		want := ref[keyString(prefix)]
+		if st.Count != want.Count || st.Sum != want.Sum || st.Min != want.Min || st.Max != want.Max {
+			t.Fatalf("prefix %v: got %+v want %+v", prefix, st, want)
+		}
+	})
+	if got != len(ref) {
+		t.Fatalf("ScanPrefixGroups yielded %d groups, want %d", got, len(ref))
+	}
+}
+
+// TestMergeStateAndMerge: merging two lists equals building one list from
+// the concatenated streams.
+func TestMergeStateAndMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, bl, all := New(1, nil), New(2, nil), New(3, nil)
+	for i := 0; i < 1500; i++ {
+		k := []uint32{uint32(rng.Intn(9)), uint32(rng.Intn(7))}
+		m := float64(rng.Intn(30))
+		if i%2 == 0 {
+			a.Add(k, m)
+		} else {
+			bl.Add(k, m)
+		}
+		all.Add(k, m)
+	}
+	a.Merge(bl)
+	if a.Len() != all.Len() {
+		t.Fatalf("merged length %d, want %d", a.Len(), all.Len())
+	}
+	all.Scan(func(k []uint32, want agg.State) bool {
+		got, ok := a.Get(k)
+		if !ok || got != want {
+			t.Fatalf("cell %v: got %+v want %+v", k, got, want)
+		}
+		return true
+	})
+}
+
+// TestEmptyList covers the degenerate paths.
+func TestEmptyList(t *testing.T) {
+	l := New(1, nil)
+	if l.Len() != 0 {
+		t.Fatal("new list not empty")
+	}
+	if _, ok := l.Get([]uint32{1}); ok {
+		t.Fatal("Get on empty list returned a cell")
+	}
+	called := false
+	l.Scan(func([]uint32, agg.State) bool { called = true; return true })
+	l.ScanPrefixGroups(1, func([]uint32, agg.State) { called = true })
+	if called {
+		t.Fatal("callbacks fired on an empty list")
+	}
+	if l.SizeBytes() != 0 {
+		t.Fatalf("empty list SizeBytes = %d", l.SizeBytes())
+	}
+}
+
+// TestScanEarlyStop: returning false stops iteration.
+func TestScanEarlyStop(t *testing.T) {
+	l := New(1, nil)
+	for i := 0; i < 10; i++ {
+		l.Add([]uint32{uint32(i)}, 1)
+	}
+	n := 0
+	l.Scan(func([]uint32, agg.State) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("scan visited %d cells after early stop, want 3", n)
+	}
+}
+
+// TestKeyCopied: the list must not alias the caller's key buffer.
+func TestKeyCopied(t *testing.T) {
+	l := New(1, nil)
+	buf := []uint32{1, 2}
+	l.Add(buf, 5)
+	buf[0] = 99
+	if _, ok := l.Get([]uint32{1, 2}); !ok {
+		t.Fatal("mutating the caller's buffer corrupted the stored key")
+	}
+}
+
+// TestCompareCounting: comparisons must be charged to the counter.
+func TestCompareCounting(t *testing.T) {
+	var ctr countingCounter
+	l := New(1, &ctr)
+	for i := 0; i < 100; i++ {
+		l.Add([]uint32{uint32(i % 10), uint32(i % 7)}, 1)
+	}
+	if ctr == 0 {
+		t.Fatal("no comparisons charged")
+	}
+}
+
+type countingCounter int64
+
+func (c *countingCounter) AddCompares(n int64) { *c += countingCounter(n) }
+
+// TestDeterministicHeights: same seed, same structure → identical SizeBytes.
+func TestDeterministicHeights(t *testing.T) {
+	build := func() *List {
+		l := New(42, nil)
+		for i := 0; i < 500; i++ {
+			l.Add([]uint32{uint32(i * 7 % 101)}, float64(i))
+		}
+		return l
+	}
+	if a, b := build().SizeBytes(), build().SizeBytes(); a != b {
+		t.Fatalf("same-seed lists differ in size: %d vs %d", a, b)
+	}
+}
+
+// TestBuilderEqualsAdds: bulk-loading sorted groups produces exactly the
+// list that per-tuple Adds produce, and stays sorted.
+func TestBuilderEqualsAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	keys := make([][]uint32, 600)
+	meas := make([]float64, 600)
+	for i := range keys {
+		keys[i] = []uint32{uint32(rng.Intn(12)), uint32(rng.Intn(9))}
+		meas[i] = float64(rng.Intn(40))
+	}
+	ref := New(1, nil)
+	for i := range keys {
+		ref.Add(keys[i], meas[i])
+	}
+	// Sort the stream, aggregate runs, append.
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return lessU32(keys[order[a]], keys[order[b]]) })
+	b := NewBuilder(2, nil)
+	var cur []uint32
+	st := agg.NewState()
+	for _, i := range order {
+		if cur != nil && lessU32(cur, keys[i]) {
+			b.Append(cur, st)
+			st = agg.NewState()
+			cur = nil
+		}
+		if cur == nil {
+			cur = keys[i]
+		}
+		st.Add(meas[i])
+	}
+	b.Append(cur, st)
+	built := b.List()
+	if built.Len() != ref.Len() {
+		t.Fatalf("builder list has %d cells, Add-built has %d", built.Len(), ref.Len())
+	}
+	ref.Scan(func(k []uint32, want agg.State) bool {
+		got, ok := built.Get(k)
+		if !ok || got != want {
+			t.Fatalf("cell %v: built %+v want %+v", k, got, want)
+		}
+		return true
+	})
+	// Built list must interoperate: prefix groups still work.
+	n := 0
+	built.ScanPrefixGroups(1, func([]uint32, agg.State) { n++ })
+	if n == 0 {
+		t.Fatal("prefix scan over built list found nothing")
+	}
+}
+
+// TestBuilderMergesEqualKeys: appending the running maximum merges.
+func TestBuilderMergesEqualKeys(t *testing.T) {
+	b := NewBuilder(1, nil)
+	st := agg.NewState()
+	st.Add(3)
+	b.Append([]uint32{1}, st)
+	b.Append([]uint32{1}, st)
+	l := b.List()
+	if l.Len() != 1 {
+		t.Fatalf("equal keys did not merge: %d cells", l.Len())
+	}
+	got, _ := l.Get([]uint32{1})
+	if got.Count != 2 || got.Sum != 6 {
+		t.Fatalf("merged state %+v", got)
+	}
+}
+
+// TestBuilderRejectsRegression: out-of-order appends must panic.
+func TestBuilderRejectsRegression(t *testing.T) {
+	b := NewBuilder(1, nil)
+	st := agg.NewState()
+	st.Add(1)
+	b.Append([]uint32{5}, st)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("regressing key did not panic")
+		}
+	}()
+	b.Append([]uint32{4}, st)
+}
+
+// TestSortedBulk: inserting presorted and shuffled streams yields the same
+// ordered contents.
+func TestSortedBulk(t *testing.T) {
+	keys := make([]uint32, 400)
+	for i := range keys {
+		keys[i] = uint32(i % 57)
+	}
+	shuffled := append([]uint32(nil), keys...)
+	rand.New(rand.NewSource(3)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	la, lb := New(1, nil), New(2, nil)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		la.Add([]uint32{k}, 1)
+	}
+	for _, k := range shuffled {
+		lb.Add([]uint32{k}, 1)
+	}
+	if la.Len() != lb.Len() {
+		t.Fatalf("order-dependent contents: %d vs %d", la.Len(), lb.Len())
+	}
+}

@@ -1,0 +1,72 @@
+package icebergcube
+
+import "testing"
+
+// TestMaterializedAnswersMatchCompute: every group-by answered from the
+// §5.1 leaf precomputation equals the full cube's cuboid — at thresholds
+// above, equal to, and below typical precompute floors.
+func TestMaterializedAnswersMatchCompute(t *testing.T) {
+	ds := Synthetic([]string{"A", "B", "C", "D"}, []int{7, 5, 4, 3}, []float64{2, 1, 1.5, 1}, 1500, 13)
+	mat, err := Materialize(ds, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, minsup := range []int64{1, 2, 6} {
+		full, err := Compute(ds, Query{MinSupport: minsup, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, groupBy := range [][]string{
+			{"A"}, {"B", "D"}, {"A", "B", "C"}, {"A", "B", "C", "D"},
+		} {
+			got, err := mat.Answer(groupBy, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := full.Cuboid(groupBy...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("minsup=%d %v: %d cells from materialization, %d from the cube", minsup, groupBy, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Count != want[i].Count || got[i].Sum != want[i].Sum {
+					t.Fatalf("minsup=%d %v: cell %d differs: %+v vs %+v", minsup, groupBy, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMaterializedIsPrecomputedOnce: answering is served from memory (the
+// cell count equals the distinct finest-group count) and the precompute
+// time is reported.
+func TestMaterializedIsPrecomputedOnce(t *testing.T) {
+	ds := Synthetic([]string{"A", "B"}, []int{4, 3}, nil, 300, 1)
+	mat, err := Materialize(ds, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.NumCells() == 0 || mat.NumCells() > 12 {
+		t.Fatalf("leaf cuboid has %d cells, want ≤ 4×3", mat.NumCells())
+	}
+	if mat.PrecomputeSeconds <= 0 {
+		t.Fatal("no precompute time reported")
+	}
+}
+
+// TestMaterializedErrors covers unknown dimensions.
+func TestMaterializedErrors(t *testing.T) {
+	ds := Synthetic([]string{"A", "B"}, []int{4, 3}, nil, 100, 1)
+	if _, err := Materialize(ds, []string{"Nope"}, 2); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+	mat, err := Materialize(ds, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mat.Answer([]string{"Nope"}, 1); err == nil {
+		t.Fatal("unknown group-by attribute accepted")
+	}
+}

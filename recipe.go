@@ -1,0 +1,109 @@
+package icebergcube
+
+import "math"
+
+// Profile describes the cube a user is about to compute, in the terms the
+// paper's recipe (Fig 4.7) is expressed in.
+type Profile struct {
+	// Tuples is the data-set size.
+	Tuples int
+	// Dims is the number of cube dimensions.
+	Dims int
+	// CardinalityProduct is the product of the cube dimensions'
+	// cardinalities — the total number of possible cells. Use
+	// ProfileOf to derive it from a Dataset.
+	CardinalityProduct float64
+	// MemoryConstrained marks nodes that cannot hold a full replica of
+	// the data set.
+	MemoryConstrained bool
+	// OnlineRefinement marks queries that need instant answers with
+	// progressive refinement (Chapter 5).
+	OnlineRefinement bool
+}
+
+// Dense reports whether the cube counts as dense for the recipe: the total
+// number of possible cells is not too high (the paper uses < 10^8).
+func (p Profile) Dense() bool {
+	return p.CardinalityProduct > 0 && p.CardinalityProduct < 1e8
+}
+
+// Recommendation is the recipe's answer.
+type Recommendation struct {
+	// Algorithm to use; Online is set instead when the profile asks for
+	// online refinement (use ComputeOnline/POL).
+	Algorithm Algorithm
+	Online    bool
+	// Reason explains the choice in the paper's terms.
+	Reason string
+	// Alternatives lists other reasonable picks, best first.
+	Alternatives []Algorithm
+}
+
+// Recommend implements the paper's recipe (Fig 4.7, §4.9.1): PT is the
+// default; ASL and AHT dominate on dense cubes (AHT degrades first as
+// sparseness or dimensionality grows); with ≤5 dimensions almost everything
+// ties and RP's simplicity wins; BPP is the pick under memory pressure;
+// high dimensionality demands PT; online refinement needs the
+// skip-list-based POL.
+func Recommend(p Profile) Recommendation {
+	switch {
+	case p.OnlineRefinement:
+		return Recommendation{
+			Online: true, Algorithm: ASL,
+			Reason:       "online support: POL (skip-list based, sampling + progressive refinement) answers while scanning; of the CUBE algorithms only ASL extends to it",
+			Alternatives: []Algorithm{ASL},
+		}
+	case p.MemoryConstrained:
+		return Recommendation{
+			Algorithm:    BPP,
+			Reason:       "less memory occupation: BPP partitions the data set instead of replicating it; each node only holds its chunks",
+			Alternatives: []Algorithm{PT},
+		}
+	case p.Dense():
+		return Recommendation{
+			Algorithm:    AHT,
+			Reason:       "dense cube (cardinality product < 10^8): AHT and ASL dominate — little pruning is available to the BUC-based algorithms and hash/skip-list stores stay compact",
+			Alternatives: []Algorithm{ASL, PT},
+		}
+	case p.Dims > 0 && p.Dims <= 5:
+		return Recommendation{
+			Algorithm:    RP,
+			Reason:       "small dimensionality (≤5): all algorithms behave similarly and RP is the simplest to run",
+			Alternatives: []Algorithm{PT, ASL, AHT},
+		}
+	case p.Dims >= 11:
+		return Recommendation{
+			Algorithm:    PT,
+			Reason:       "high dimensionality: PT's pruning plus balanced binary-division tasks; ASL's long-key comparisons and AHT's starved index bits both degrade",
+			Alternatives: []Algorithm{BPP},
+		}
+	default:
+		return Recommendation{
+			Algorithm:    PT,
+			Reason:       "default: PT combines bottom-up pruning with top-down affinity scheduling and is typically a constant factor faster than ASL and AHT",
+			Alternatives: []Algorithm{ASL, AHT},
+		}
+	}
+}
+
+// ProfileOf derives a Profile from a data set and an intended dimension
+// list (nil = all dimensions).
+func ProfileOf(ds *Dataset, dims []string) (Profile, error) {
+	idx, err := ds.resolveDims(dims)
+	if err != nil {
+		return Profile{}, err
+	}
+	logProd := 0.0
+	for _, d := range idx {
+		logProd += math.Log10(float64(ds.rel.Card(d)))
+	}
+	prod := math.Inf(1)
+	if logProd < 300 {
+		prod = math.Pow(10, logProd)
+	}
+	return Profile{
+		Tuples:             ds.Len(),
+		Dims:               len(idx),
+		CardinalityProduct: prod,
+	}, nil
+}
