@@ -1,0 +1,36 @@
+# Development targets. CI (.github/workflows/ci.yml) runs the same steps.
+
+FUZZTIME ?= 30s
+FUZZ_TARGETS := FuzzDifferential FuzzMetamorphic FuzzHashTree FuzzEncodeRoundTrip
+
+.PHONY: build vet test short race fuzz corpus
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test: vet build
+	go test ./...
+
+# Skips the experiment-harness figure replays (several minutes).
+short:
+	go test -short ./...
+
+# The heavy experiment sweeps skip themselves under -race; the algorithms'
+# race coverage comes from core/cluster/mpi/oracle.
+race:
+	go test -race -timeout 15m ./...
+
+# Run each fuzz target for $(FUZZTIME). Checked-in corpus entries under
+# internal/oracle/testdata/fuzz/ also replay as regression tests in `make test`.
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "== $$t =="; \
+		go test ./internal/oracle -run '^$$' -fuzz "^$$t\$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+# Regenerate the checked-in seed corpus from internal/oracle/seeds.go.
+corpus:
+	go run ./internal/oracle/gencorpus

@@ -1,0 +1,138 @@
+package icebergcube
+
+// Differential tests at the public API layer: every selectable Algorithm
+// must answer every query identically, and output must be reproducible
+// byte for byte — the properties internal/oracle enforces on core,
+// re-checked through Compute so the Dataset/Query/Result plumbing is
+// covered too.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// renderAll renders every cuboid of a result deterministically: cuboids in
+// mask order via the sorted attribute power set, cells sorted by value.
+func renderAll(t *testing.T, res *Result, dims []string) string {
+	t.Helper()
+	var b strings.Builder
+	for mask := 0; mask < 1<<len(dims); mask++ {
+		var groupBy []string
+		for i, d := range dims {
+			if mask&(1<<i) != 0 {
+				groupBy = append(groupBy, d)
+			}
+		}
+		cells, err := res.Cuboid(groupBy...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "cuboid %v: %d cells\n", groupBy, len(cells))
+		for _, c := range cells {
+			fmt.Fprintf(&b, "  %s min=%g max=%g avg=%g\n", c.String(), c.Min, c.Max, c.Avg)
+		}
+	}
+	return b.String()
+}
+
+// TestComputeAlgorithmsAgree: all five public algorithms must produce the
+// identical rendered cube for the same query, across thresholds and both
+// runners.
+func TestComputeAlgorithmsAgree(t *testing.T) {
+	ds := Synthetic([]string{"A", "B", "C", "D"}, []int{6, 5, 4, 3}, []float64{2, 1, 1.5, 1}, 1200, 7)
+	dims := ds.DimNames()
+	for _, q := range []Query{
+		{MinSupport: 1, Workers: 3},
+		{MinSupport: 3, Workers: 5},
+		{MinSum: 2000, Workers: 4},
+		{MinSupport: 2, Workers: 4, Parallel: true},
+	} {
+		var want string
+		var wantAlgo Algorithm
+		for _, algo := range Algorithms() {
+			q := q
+			q.Algorithm = algo
+			res, err := Compute(ds, q)
+			if err != nil {
+				t.Fatalf("%s: %v", algo, err)
+			}
+			got := renderAll(t, res, dims)
+			if want == "" {
+				want, wantAlgo = got, algo
+				continue
+			}
+			if got != want {
+				t.Errorf("query %+v: %s and %s disagree:\n%s", q, wantAlgo, algo,
+					firstDiffLine(want, got))
+			}
+		}
+	}
+}
+
+// firstDiffLine locates the first differing line of two renderings.
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  %s\nvs\n  %s", i, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+// TestSeedDeterminism: the seed-determinism regression — the same Query
+// with the same Seed must produce byte-identical output for ASL (skip-list
+// level coins) and AHT (hash collapse order), twice in a row, on both
+// runners.
+func TestSeedDeterminism(t *testing.T) {
+	ds := SyntheticWeather(5000, 11)
+	dims := ds.PickDimsByCardinalityProduct(5, 6)
+	for _, algo := range []Algorithm{ASL, AHT} {
+		for _, parallel := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/parallel=%v", algo, parallel), func(t *testing.T) {
+				q := Query{Dims: dims, MinSupport: 2, Algorithm: algo, Workers: 6, Seed: 424242, Parallel: parallel}
+				var first string
+				for i := 0; i < 2; i++ {
+					res, err := Compute(ds, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := renderAll(t, res, dims)
+					if got == "" {
+						t.Fatal("empty rendering")
+					}
+					if i == 0 {
+						first = got
+						continue
+					}
+					if got != first {
+						t.Fatalf("two identical runs differ: %s", firstDiffLine(first, got))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSeedDoesNotChangeCells: seeds alter internal randomness only, never
+// the answer.
+func TestSeedDoesNotChangeCells(t *testing.T) {
+	ds := Synthetic([]string{"X", "Y", "Z"}, []int{5, 4, 3}, nil, 800, 3)
+	dims := ds.DimNames()
+	for _, algo := range Algorithms() {
+		var want string
+		for _, seed := range []int64{1, 2, 77777} {
+			res, err := Compute(ds, Query{MinSupport: 2, Algorithm: algo, Workers: 4, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderAll(t, res, dims)
+			if want == "" {
+				want = got
+			} else if got != want {
+				t.Errorf("%s: seed %d changed the answer: %s", algo, seed, firstDiffLine(want, got))
+			}
+		}
+	}
+}

@@ -7,8 +7,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -19,7 +21,11 @@ import (
 	"icebergcube/internal/results"
 )
 
-func main() {
+// run holds the whole example so the smoke test can execute it against a
+// buffer; per-rank summaries are collected and printed in rank order after
+// the world shuts down, so output is deterministic despite the real
+// goroutine-per-rank concurrency.
+func run(w io.Writer) error {
 	const ranks = 4
 
 	// Reserve loopback addresses for the world. On a real cluster this
@@ -28,18 +34,25 @@ func main() {
 	for i := range addrs {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		addrs[i] = ln.Addr().String()
 		ln.Close()
 	}
-	fmt.Printf("world: %v\n", addrs)
+	fmt.Fprintf(w, "world: %d ranks over TCP loopback\n", ranks)
 
 	// Every rank generates the same replicated data set from the shared
 	// seed — the paper replicates the data set on all machines for RP/PT.
 	rel := gen.Weather(20000, 2001)
 	dims := gen.PickDimsByProduct(rel, 8, 11)
 
+	type rankResult struct {
+		localCells int
+		total      int64
+		merged     *results.Set
+		err        error
+	}
+	out := make([]rankResult, ranks)
 	var wg sync.WaitGroup
 	for r := 0; r < ranks; r++ {
 		wg.Add(1)
@@ -47,28 +60,44 @@ func main() {
 			defer wg.Done()
 			comm, err := mpi.NewTCPWorld(rank, addrs, 10*time.Second)
 			if err != nil {
-				log.Fatalf("rank %d: %v", rank, err)
+				out[rank].err = fmt.Errorf("rank %d: %w", rank, err)
+				return
 			}
 			defer comm.Close()
 
 			local := results.NewSet()
-			start := time.Now()
 			total, err := core.DistributedCube(comm, rel, dims, agg.MinSupport(2), local)
 			if err != nil {
-				log.Fatalf("rank %d: %v", rank, err)
+				out[rank].err = fmt.Errorf("rank %d: %w", rank, err)
+				return
 			}
-			fmt.Printf("rank %d: %6d local cells of %d total (%.2fs wall)\n",
-				rank, local.NumCells(), total, time.Since(start).Seconds())
+			out[rank].localCells = local.NumCells()
+			out[rank].total = total
 
 			merged, err := core.GatherCells(comm, local)
 			if err != nil {
-				log.Fatalf("rank %d gather: %v", rank, err)
+				out[rank].err = fmt.Errorf("rank %d gather: %w", rank, err)
+				return
 			}
-			if rank == 0 {
-				fmt.Printf("\nrank 0 gathered the full cube over TCP: %d cells in %d cuboids\n",
-					merged.NumCells(), merged.NumCuboids())
-			}
+			out[rank].merged = merged
 		}(r)
 	}
 	wg.Wait()
+
+	for rank, res := range out {
+		if res.err != nil {
+			return res.err
+		}
+		fmt.Fprintf(w, "rank %d: %6d local cells of %d total\n", rank, res.localCells, res.total)
+	}
+	merged := out[0].merged
+	fmt.Fprintf(w, "\nrank 0 gathered the full cube over TCP: %d cells in %d cuboids\n",
+		merged.NumCells(), merged.NumCuboids())
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the TCP-cluster example: the 4-rank world must come
+// up on loopback, compute disjoint partial cubes, and gather them at
+// rank 0 — with identical output on a second run (the distributed cube's
+// cell totals are deterministic even though ranks race in real time).
+func TestRun(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	if out == "" {
+		t.Fatal("example produced no output")
+	}
+	if out != b.String() {
+		t.Fatal("example output is not deterministic across runs")
+	}
+	for _, want := range []string{
+		"world: 4 ranks over TCP loopback",
+		"rank 0:",
+		"rank 3:",
+		"rank 0 gathered the full cube over TCP:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

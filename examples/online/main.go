@@ -5,18 +5,22 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	icebergcube "icebergcube"
 )
 
-func main() {
+// run holds the whole example so the smoke test can execute it against a
+// buffer; main just points it at stdout.
+func run(w io.Writer) error {
 	// Stand-in for the paper's 1,000,000-tuple weather relation.
 	ds := icebergcube.SyntheticWeather(200000, 7)
 	dims := ds.PickDimsByCardinalityProduct(6, 5)
-	fmt.Printf("online query: GROUP BY %v HAVING COUNT(*) >= 50, 8 workers, 8000-tuple buffers\n\n", dims)
+	fmt.Fprintf(w, "online query: GROUP BY %v HAVING COUNT(*) >= 50, 8 workers, 8000-tuple buffers\n\n", dims)
 
-	fmt.Println("  step  processed   cells-so-far   est-qualifying   sim-elapsed")
+	fmt.Fprintln(w, "  step  processed   cells-so-far   est-qualifying   sim-elapsed")
 	res, err := icebergcube.ComputeOnline(ds, icebergcube.OnlineQuery{
 		Dims:         dims,
 		MinSupport:   50,
@@ -26,22 +30,29 @@ func main() {
 			// Each snapshot is what the user's screen shows while the
 			// query runs: the estimate sharpens as the fraction grows.
 			if p.Step <= 3 || p.Step%4 == 0 || p.Fraction == 1 {
-				fmt.Printf("  %4d     %5.1f%%   %12d   %14d   %9.2fs\n",
+				fmt.Fprintf(w, "  %4d     %5.1f%%   %12d   %14d   %9.2fs\n",
 					p.Step, 100*p.Fraction, p.Cells, p.QualifyingCells, p.VirtualSeconds)
 			}
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("\nexact answer after %d steps (simulated %.2fs): %d qualifying cells\n",
+	fmt.Fprintf(w, "\nexact answer after %d steps (simulated %.2fs): %d qualifying cells\n",
 		res.Steps, res.Makespan, len(res.Cells))
 	for i, c := range res.Cells {
 		if i == 5 {
-			fmt.Printf("  ... %d more\n", len(res.Cells)-5)
+			fmt.Fprintf(w, "  ... %d more\n", len(res.Cells)-5)
 			break
 		}
-		fmt.Printf("  %s\n", c)
+		fmt.Fprintf(w, "  %s\n", c)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the online (POL) example: progress snapshots and the
+// exact final answer must appear, deterministically.
+func TestRun(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	if out == "" {
+		t.Fatal("example produced no output")
+	}
+	if out != b.String() {
+		t.Fatal("example output is not deterministic across runs")
+	}
+	for _, want := range []string{
+		"online query: GROUP BY",
+		"est-qualifying",
+		"100.0%",
+		"exact answer after",
+		"qualifying cells",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,12 +4,16 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	icebergcube "icebergcube"
 )
 
-func main() {
+// run holds the whole example so the smoke test can execute it against a
+// buffer; main just points it at stdout.
+func run(w io.Writer) error {
 	// A toy point-of-sale relation: (Item, Location, Customer) → Sales,
 	// modelled on the paper's iceberg-query example (Table 2.1).
 	rows := [][]string{
@@ -23,7 +27,7 @@ func main() {
 	sales := []float64{700, 400, 700, 400, 700, 250}
 	ds, err := icebergcube.FromRows([]string{"Item", "Location", "Customer"}, rows, sales)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The iceberg query of §2.1: GROUP BY Item, Location HAVING COUNT(*) >= 2,
@@ -35,27 +39,34 @@ func main() {
 		Workers:    4,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("iceberg cube: %d qualifying cells across %d group-bys (simulated %0.4fs on 4 workers)\n\n",
+	fmt.Fprintf(w, "iceberg cube: %d qualifying cells across %d group-bys (simulated %0.4fs on 4 workers)\n\n",
 		res.NumCells(), res.NumCuboids(), res.Makespan)
 
 	cells, err := res.Cuboid("Item", "Location")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("SELECT Item, Location, SUM(Sales) ... GROUP BY Item, Location HAVING COUNT(*) >= 2:")
+	fmt.Fprintln(w, "SELECT Item, Location, SUM(Sales) ... GROUP BY Item, Location HAVING COUNT(*) >= 2:")
 	for _, c := range cells {
-		fmt.Printf("  %s\n", c)
+		fmt.Fprintf(w, "  %s\n", c)
 	}
 
 	// Roll up to Location alone — same result object, no recomputation.
-	fmt.Println("\nroll-up to Location:")
+	fmt.Fprintln(w, "\nroll-up to Location:")
 	locs, err := res.Cuboid("Location")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, c := range locs {
-		fmt.Printf("  %s\n", c)
+		fmt.Fprintf(w, "  %s\n", c)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: it must succeed, print the
+// §2.1 iceberg answer, and be deterministic across runs.
+func TestRun(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	if out == "" {
+		t.Fatal("example produced no output")
+	}
+	if out != b.String() {
+		t.Fatal("example output is not deterministic across runs")
+	}
+	for _, want := range []string{
+		"iceberg cube:",
+		"(Item=Sony 25\" TV, Location=Seattle): count=3 sum=2100",
+		"roll-up to Location",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

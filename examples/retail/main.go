@@ -5,12 +5,16 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	icebergcube "icebergcube"
 )
 
-func main() {
+// run holds the whole example so the smoke test can execute it against a
+// buffer; main just points it at stdout.
+func run(w io.Writer) error {
 	models := []string{"Chevy", "Ford"}
 	years := []string{"1990", "1991", "1992"}
 	colors := []string{"red", "white", "blue"}
@@ -32,61 +36,86 @@ func main() {
 	}
 	ds, err := icebergcube.FromRows([]string{"Model", "Year", "Color"}, rows, measures)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// CUBE BY Model, Year, Color — all 2^3 group-bys at once.
 	cube, err := icebergcube.Compute(ds, icebergcube.Query{Algorithm: icebergcube.ASL, Workers: 2})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("CUBE of SALES: %d cells across %d group-bys\n\n", cube.NumCells(), cube.NumCuboids())
+	fmt.Fprintf(w, "CUBE of SALES: %d cells across %d group-bys\n\n", cube.NumCells(), cube.NumCuboids())
 
-	all, _ := cube.Cuboid()
-	fmt.Printf("grand total: %s\n\n", all[0])
+	all, err := cube.Cuboid()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "grand total: %s\n\n", all[0])
 
-	fmt.Println("GROUP BY Model (roll-up):")
-	cells, _ := cube.Cuboid("Model")
+	fmt.Fprintln(w, "GROUP BY Model (roll-up):")
+	cells, err := cube.Cuboid("Model")
+	if err != nil {
+		return err
+	}
 	for _, c := range cells {
-		fmt.Printf("  %s\n", c)
+		fmt.Fprintf(w, "  %s\n", c)
 	}
 
-	fmt.Println("\nGROUP BY Model, Year (drill-down):")
-	cells, _ = cube.Cuboid("Model", "Year")
+	fmt.Fprintln(w, "\nGROUP BY Model, Year (drill-down):")
+	cells, err = cube.Cuboid("Model", "Year")
+	if err != nil {
+		return err
+	}
 	for _, c := range cells {
-		fmt.Printf("  %s\n", c)
+		fmt.Fprintf(w, "  %s\n", c)
 	}
 
 	// The cross-tab of Fig 2.3: Model × Color.
-	fmt.Println("\ncross-tab Model × Color:")
-	fmt.Printf("%10s", "")
+	fmt.Fprintln(w, "\ncross-tab Model × Color:")
+	fmt.Fprintf(w, "%10s", "")
 	for _, col := range colors {
-		fmt.Printf("%8s", col)
+		fmt.Fprintf(w, "%8s", col)
 	}
-	fmt.Printf("%8s\n", "total")
+	fmt.Fprintf(w, "%8s\n", "total")
 	for _, m := range models {
-		fmt.Printf("%10s", m)
+		fmt.Fprintf(w, "%10s", m)
 		for _, col := range colors {
-			cell, ok, _ := cube.Get([]string{"Model", "Color"}, []string{m, col})
+			cell, ok, err := cube.Get([]string{"Model", "Color"}, []string{m, col})
+			if err != nil {
+				return err
+			}
 			if ok {
-				fmt.Printf("%8g", cell.Sum)
+				fmt.Fprintf(w, "%8g", cell.Sum)
 			} else {
-				fmt.Printf("%8s", "-")
+				fmt.Fprintf(w, "%8s", "-")
 			}
 		}
-		rowTotal, _, _ := cube.Get([]string{"Model"}, []string{m})
-		fmt.Printf("%8g\n", rowTotal.Sum)
+		rowTotal, _, err := cube.Get([]string{"Model"}, []string{m})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%8g\n", rowTotal.Sum)
 	}
 
 	// An iceberg restriction on the same data: only (Year, Color) pairs
 	// with sales of at least 140 survive.
 	iceberg, err := icebergcube.Compute(ds, icebergcube.Query{MinSum: 140, Workers: 2})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\niceberg: GROUP BY Year, Color HAVING SUM(Sales) >= 140:")
-	cells, _ = iceberg.Cuboid("Year", "Color")
+	fmt.Fprintln(w, "\niceberg: GROUP BY Year, Color HAVING SUM(Sales) >= 140:")
+	cells, err = iceberg.Cuboid("Year", "Color")
+	if err != nil {
+		return err
+	}
 	for _, c := range cells {
-		fmt.Printf("  %s\n", c)
+		fmt.Fprintf(w, "  %s\n", c)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

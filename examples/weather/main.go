@@ -5,26 +5,30 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	icebergcube "icebergcube"
 )
 
-func main() {
+// run holds the whole example so the smoke test can execute it against a
+// buffer; main just points it at stdout.
+func run(w io.Writer) error {
 	// A scaled-down stand-in for the paper's 176,631-tuple weather
 	// relation (20 dimensions, heavy skew on some of them).
 	ds := icebergcube.SyntheticWeather(30000, 2001)
 
 	// The baseline cube: 9 dimensions with cardinality product ≈ 10^13.
 	dims := ds.PickDimsByCardinalityProduct(9, 13)
-	fmt.Printf("cube dimensions: %v\n", dims)
+	fmt.Fprintf(w, "cube dimensions: %v\n", dims)
 
 	profile, err := icebergcube.ProfileOf(ds, dims)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rec := icebergcube.Recommend(profile)
-	fmt.Printf("recipe: use %s — %s\n\n", rec.Algorithm, rec.Reason)
+	fmt.Fprintf(w, "recipe: use %s — %s\n\n", rec.Algorithm, rec.Reason)
 
 	res, err := icebergcube.Compute(ds, icebergcube.Query{
 		Dims:       dims,
@@ -33,13 +37,13 @@ func main() {
 		Workers:    8,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%s: %d cells in %d cuboids, %.1f MB output, simulated makespan %.2fs\n",
+	fmt.Fprintf(w, "%s: %d cells in %d cuboids, %.1f MB output, simulated makespan %.2fs\n",
 		res.Algorithm, res.NumCells(), res.NumCuboids(), float64(res.BytesWritten)/1e6, res.Makespan)
-	fmt.Println("per-worker load (the flat profile of Fig 4.1):")
+	fmt.Fprintln(w, "per-worker load (the flat profile of Fig 4.1):")
 	for i, l := range res.WorkerLoads {
-		fmt.Printf("  worker %d: %6.2fs\n", i, l)
+		fmt.Fprintf(w, "  worker %d: %6.2fs\n", i, l)
 	}
 
 	// Compare against the simplest algorithm on the same workload: RP's
@@ -51,23 +55,30 @@ func main() {
 		Workers:    8,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nfor contrast, RP on the same cube: makespan %.2fs, loads:\n", rp.Makespan)
+	fmt.Fprintf(w, "\nfor contrast, RP on the same cube: makespan %.2fs, loads:\n", rp.Makespan)
 	for i, l := range rp.WorkerLoads {
-		fmt.Printf("  worker %d: %6.2fs\n", i, l)
+		fmt.Fprintf(w, "  worker %d: %6.2fs\n", i, l)
 	}
 
 	// Drill into one sparse cuboid.
 	top, err := res.Cuboid(dims[0])
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\ncuboid (%s): %d cells; first few:\n", dims[0], len(top))
+	fmt.Fprintf(w, "\ncuboid (%s): %d cells; first few:\n", dims[0], len(top))
 	for i, c := range top {
 		if i == 5 {
 			break
 		}
-		fmt.Printf("  %s\n", c)
+		fmt.Fprintf(w, "  %s\n", c)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

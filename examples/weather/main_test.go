@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the weather example: recipe pick, cube computation,
+// and load report must all appear, deterministically.
+func TestRun(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	if out == "" {
+		t.Fatal("example produced no output")
+	}
+	if out != b.String() {
+		t.Fatal("example output is not deterministic across runs")
+	}
+	for _, want := range []string{
+		"cube dimensions:",
+		"recipe: use ",
+		"per-worker load",
+		"for contrast, RP on the same cube",
+		"cuboid (",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core_test
+
+// External-package tests wiring the differential oracle into core: the
+// oracle imports core, so these live in core_test to avoid the cycle.
+
+import (
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/core"
+	"icebergcube/internal/gen"
+	"icebergcube/internal/oracle"
+	"icebergcube/internal/results"
+)
+
+func oracleRun(tuples, dims int, minsup int64, workers int, seed int64) core.Run {
+	cards := make([]int, dims)
+	skew := make([]float64, dims)
+	for i := range cards {
+		cards[i] = 3 + 2*i
+		skew[i] = 1 + float64(i%2)
+	}
+	rel := gen.Generate(gen.Spec{Cards: cards, Skew: skew, Tuples: tuples, Seed: seed})
+	cubeDims := make([]int, dims)
+	for i := range cubeDims {
+		cubeDims[i] = i
+	}
+	return core.Run{Rel: rel, Dims: cubeDims, Cond: agg.MinSupport(minsup), Workers: workers, Seed: seed}
+}
+
+// TestOracleGate is the standing differential gate on the core layer:
+// every algorithm (including the hash-tree) against NaiveCube, on the
+// virtual and the goroutine runner.
+func TestOracleGate(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		run := oracleRun(600, 5, 2, 6, 19)
+		run.Parallel = parallel
+		for _, m := range oracle.CheckAll(run) {
+			t.Errorf("parallel=%v: %s", parallel, oracle.Report(&m))
+		}
+	}
+}
+
+// TestNoAffinityAblation: the NoAffinity knob must change only cost and
+// scheduling, never cells — ASL with and without affinity produces the
+// identical cube, and both match the ground truth.
+func TestNoAffinityAblation(t *testing.T) {
+	run := oracleRun(700, 5, 2, 4, 29)
+	want := core.NaiveCube(run.Rel, run.Dims, run.Cond)
+
+	withAff := results.NewSet()
+	run.Sink = withAff
+	repAff, err := core.ASL(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	noAff := run
+	noAff.NoAffinity = true
+	without := results.NewSet()
+	noAff.Sink = without
+	repNoAff, err := core.ASL(noAff)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if diff := withAff.Diff(without); diff != "" {
+		t.Fatalf("NoAffinity changed the cube: %s", diff)
+	}
+	if diff := want.Diff(withAff); diff != "" {
+		t.Fatalf("ASL differs from naive: %s", diff)
+	}
+	// The ablation exists to quantify sort sharing: without affinity every
+	// cuboid is built from raw data, so strictly more tuples are scanned.
+	if repNoAff.Totals().TuplesScanned <= repAff.Totals().TuplesScanned {
+		t.Errorf("affinity off scanned %d tuples, on scanned %d — ablation should cost more work",
+			repNoAff.Totals().TuplesScanned, repAff.Totals().TuplesScanned)
+	}
+}
+
+// TestSeedInvariance: the Seed feeds skip-list coins and hashing only —
+// different seeds must still produce the identical cube for every
+// algorithm.
+func TestSeedInvariance(t *testing.T) {
+	for _, a := range oracle.Algorithms() {
+		t.Run(a.Name, func(t *testing.T) {
+			base := oracleRun(400, 4, 2, 3, 37)
+			want, err := oracle.RunSet(a, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, seed := range []int64{1, 99, 123456789} {
+				run := base
+				run.Seed = seed
+				got, err := oracle.RunSet(a, run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if diff := want.Diff(got); diff != "" {
+					t.Fatalf("seed %d changed the cube: %s", seed, diff)
+				}
+			}
+		})
+	}
+}

@@ -12,6 +12,19 @@ import (
 
 func scaled(tuples int) Config { return Config{Tuples: tuples} }
 
+// skipHeavy skips the full figure-replay sweeps in -short mode and under
+// the race detector (where they exceed the package test timeout; the
+// algorithms' race coverage lives in core/cluster/mpi/oracle).
+func skipHeavy(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment harness: long")
+	}
+	if raceEnabled {
+		t.Skip("experiment harness: too slow under -race; algorithms are race-tested in core/cluster/mpi/oracle")
+	}
+}
+
 func seriesByName(t *testing.T, tbl *Table, name string) Series {
 	t.Helper()
 	for _, s := range tbl.Series {
@@ -38,9 +51,7 @@ func yAt(t *testing.T, s Series, x float64) float64 {
 // several times BPP's breadth-first writing in write I/O at every cluster
 // size (the paper reports >5× on the baseline).
 func TestFig3_6_BreadthFirstWritingWins(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment harness: long")
-	}
+	skipHeavy(t)
 	tbl, err := Fig3_6(scaled(20000))
 	if err != nil {
 		t.Fatal(err)
@@ -74,9 +85,7 @@ func loadImbalance(s Series) float64 {
 // (ASL, PT, AHT) must balance load tightly; statically assigned RP and BPP
 // must not.
 func TestFig4_1_LoadBalance(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment harness: long")
-	}
+	skipHeavy(t)
 	tbl, err := Fig4_1(scaled(20000))
 	if err != nil {
 		t.Fatal(err)
@@ -99,9 +108,7 @@ func TestFig4_1_LoadBalance(t *testing.T) {
 // few processors) but scales well; every dynamic algorithm's makespan is
 // monotone non-increasing in processors.
 func TestFig4_2_Scalability(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment harness: long")
-	}
+	skipHeavy(t)
 	tbl, err := Fig4_2(scaled(20000))
 	if err != nil {
 		t.Fatal(err)
@@ -140,9 +147,7 @@ func TestFig4_2_Scalability(t *testing.T) {
 // as the threshold rises; the 1→2 step is the cliff; output volume falls
 // monotonically.
 func TestFig4_5_MinSup(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment harness: long")
-	}
+	skipHeavy(t)
 	tbl, err := Fig4_5(scaled(20000))
 	if err != nil {
 		t.Fatal(err)
@@ -178,9 +183,7 @@ func TestFig4_5_MinSup(t *testing.T) {
 // BUC-based algorithms win sparse cubes (pruning bites); AHT degrades with
 // sparseness.
 func TestFig4_6_Sparseness(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment harness: long")
-	}
+	skipHeavy(t)
 	tbl, err := Fig4_6(scaled(20000))
 	if err != nil {
 		t.Fatal(err)
@@ -212,9 +215,7 @@ func TestFig4_6_Sparseness(t *testing.T) {
 // PT stays the fastest at every size (the paper's headline for this
 // figure), and PT's growth is at worst modestly superlinear.
 func TestFig4_3_ProblemSize(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment harness: long")
-	}
+	skipHeavy(t)
 	tbl, err := Fig4_3(scaled(6000))
 	if err != nil {
 		t.Fatal(err)
@@ -245,9 +246,7 @@ func TestFig4_3_ProblemSize(t *testing.T) {
 // ASL's long-key comparisons drop it behind BPP by 13 dimensions; AHT
 // degrades badly too (even with its 10× table).
 func TestFig4_4_Dimensions(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment harness: long")
-	}
+	skipHeavy(t)
 	tbl, err := Fig4_4(scaled(10000))
 	if err != nil {
 		t.Fatal(err)
@@ -276,9 +275,7 @@ func TestFig4_4_Dimensions(t *testing.T) {
 // TestSec5_1_SelectiveMaterialization: precomputing only the finest cuboid
 // at minsup 1 must be cheaper than recomputing the full iceberg cube.
 func TestSec5_1_SelectiveMaterialization(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment harness: long")
-	}
+	skipHeavy(t)
 	tbl, err := Sec5_1(scaled(20000))
 	if err != nil {
 		t.Fatal(err)
@@ -293,9 +290,7 @@ func TestSec5_1_SelectiveMaterialization(t *testing.T) {
 // TestFig5_3_POLScalability: POL speeds up with processors on every
 // cluster, and the faster interconnect is never slower.
 func TestFig5_3_POLScalability(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment harness: long")
-	}
+	skipHeavy(t)
 	tbl, err := Fig5_3(Config{Tuples: 100000})
 	if err != nil {
 		t.Fatal(err)
@@ -319,9 +314,7 @@ func TestFig5_3_POLScalability(t *testing.T) {
 // TestFig5_4_BufferSize: bigger buffers mean fewer synchronizations and
 // result collections, hence monotone improvement.
 func TestFig5_4_BufferSize(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment harness: long")
-	}
+	skipHeavy(t)
 	tbl, err := Fig5_4(Config{Tuples: 100000})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,39 @@
+package exp
+
+// Wires the differential oracle into the experiment harness: the exact
+// workload shape the figures sweep (weather-like relation, dimension
+// subset picked by cardinality product) must pass the cross-algorithm
+// gate, so a perf PR that skews an experiment silently is caught here.
+
+import (
+	"testing"
+
+	"icebergcube/internal/oracle"
+)
+
+// TestExperimentWorkloadPassesOracle runs the scaled-down baseline
+// workload through all algorithms against NaiveCube — the same relation
+// construction path (gen.Weather + PickDimsByProduct) every figure uses.
+func TestExperimentWorkloadPassesOracle(t *testing.T) {
+	cfg := Config{Tuples: 2000, Dims: 5, MinSup: 2, Workers: 4}.withDefaults()
+	rel, dims := workload(cfg)
+	run := baselineRun(cfg, rel, dims)
+	for _, m := range oracle.CheckAll(run) {
+		t.Errorf("%s", oracle.Report(&m))
+	}
+}
+
+// TestPrecomputeLeafPassesMonotonicity: §5.1's materialization answers
+// higher-threshold queries by filtering a low-threshold cube; that is
+// exactly the oracle's MinSupport monotonicity property, checked here on
+// the harness's workload for every algorithm.
+func TestPrecomputeLeafPassesMonotonicity(t *testing.T) {
+	cfg := Config{Tuples: 1500, Dims: 4, MinSup: 1, Workers: 4}.withDefaults()
+	rel, dims := workload(cfg)
+	run := baselineRun(cfg, rel, dims)
+	for _, a := range oracle.Algorithms() {
+		if msg := oracle.CheckMinSupportMonotone(a, run, 1, int64(2*cfg.MinSup+2)); msg != "" {
+			t.Errorf("%s", msg)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is compiled in. The full
+// experiment harness replays the paper's figures and is 10–20× slower
+// under -race, blowing the per-package test timeout; race coverage of the
+// algorithms themselves comes from the core/cluster/mpi/oracle packages,
+// so the heavy harness sweeps skip under -race (see skipHeavy).
+const raceEnabled = true

@@ -1,0 +1,157 @@
+package oracle
+
+import (
+	"fmt"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/core"
+	"icebergcube/internal/relation"
+)
+
+// Spec is the fuzzers' compact description of a whole differential run:
+// a small relation plus the query knobs. It round-trips through a byte
+// encoding (DecodeSpec/Encode) so Go fuzz corpora are the reproducer
+// format; a corpus file is therefore a complete counterexample.
+type Spec struct {
+	// Cards holds per-dimension cardinalities (each in [2, minCard+cardRange)).
+	Cards []int
+	// Rows holds one value per dimension per tuple, each < Cards[d].
+	Rows [][]uint32
+	// Meas holds one small non-negative integer measure per tuple.
+	Meas []uint8
+	// MinSup is the COUNT threshold (1..maxMinSup).
+	MinSup int64
+	// Workers is the cluster size (1..maxWorkers).
+	Workers int
+	// Seed feeds skip-list coins.
+	Seed int64
+}
+
+// Decoding limits. They bound a single fuzz execution: ≤5 dims means ≤31
+// cuboids, and ≤maxRows tuples keeps the naive oracle cheap.
+const (
+	maxDims    = 5
+	minCard    = 2
+	cardRange  = 7 // cards in [2, 8]
+	maxMinSup  = 4
+	maxWorkers = 8
+	maxRows    = 48
+	maxMeasure = 21
+)
+
+// DecodeSpec interprets raw fuzz bytes as a Spec. The format is
+// positional and total — every byte string ≥ header+1 row decodes to a
+// valid Spec — so the fuzzer explores the input space freely:
+//
+//	b[0]        → number of dimensions d = 1 + b[0]%maxDims
+//	b[1]        → MinSup = 1 + b[1]%maxMinSup
+//	b[2]        → Workers = 1 + b[2]%maxWorkers
+//	b[3]        → Seed
+//	b[4..4+d)   → Cards[i] = minCard + b%cardRange
+//	then groups of d+1 bytes, up to maxRows:
+//	            d row values (b%card) and one measure byte (b%maxMeasure)
+func DecodeSpec(data []byte) (*Spec, error) {
+	const header = 4
+	if len(data) < header+1 {
+		return nil, fmt.Errorf("oracle: %d bytes is too short for a spec", len(data))
+	}
+	d := 1 + int(data[0])%maxDims
+	s := &Spec{
+		MinSup:  1 + int64(data[1])%maxMinSup,
+		Workers: 1 + int(data[2])%maxWorkers,
+		Seed:    int64(data[3]),
+		Cards:   make([]int, d),
+	}
+	if len(data) < header+d+(d+1) {
+		return nil, fmt.Errorf("oracle: %d bytes cannot hold %d cards and one row", len(data), d)
+	}
+	for i := 0; i < d; i++ {
+		s.Cards[i] = minCard + int(data[header+i])%cardRange
+	}
+	for off := header + d; off+d+1 <= len(data) && len(s.Rows) < maxRows; off += d + 1 {
+		row := make([]uint32, d)
+		for i := 0; i < d; i++ {
+			row[i] = uint32(int(data[off+i]) % s.Cards[i])
+		}
+		s.Rows = append(s.Rows, row)
+		s.Meas = append(s.Meas, data[off+d]%maxMeasure)
+	}
+	return s, nil
+}
+
+// Encode renders the spec in DecodeSpec's format. Decode(Encode(s))
+// reproduces s exactly for any spec within the decoding limits, which is
+// what lets a minimized counterexample be committed as a corpus file.
+func (s *Spec) Encode() []byte {
+	d := len(s.Cards)
+	out := make([]byte, 0, 4+d+len(s.Rows)*(d+1))
+	out = append(out, byte(d-1), byte(s.MinSup-1), byte(s.Workers-1), byte(s.Seed))
+	for _, c := range s.Cards {
+		out = append(out, byte(c-minCard))
+	}
+	for r, row := range s.Rows {
+		for _, v := range row {
+			out = append(out, byte(v))
+		}
+		out = append(out, s.Meas[r])
+	}
+	return out
+}
+
+// Relation materializes the spec's rows.
+func (s *Spec) Relation() *relation.Relation {
+	names := make([]string, len(s.Cards))
+	for i := range names {
+		names[i] = fmt.Sprintf("D%d", i)
+	}
+	rel := relation.New(names, s.Cards)
+	for r, row := range s.Rows {
+		rel.Append(row, float64(s.Meas[r]))
+	}
+	return rel
+}
+
+// Run builds the core.Run the spec describes (Sink left nil).
+func (s *Spec) Run() core.Run {
+	rel := s.Relation()
+	dims := make([]int, len(s.Cards))
+	for i := range dims {
+		dims[i] = i
+	}
+	return core.Run{
+		Rel:     rel,
+		Dims:    dims,
+		Cond:    agg.MinSupport(s.MinSup),
+		Workers: s.Workers,
+		Seed:    s.Seed,
+	}
+}
+
+// CorpusFile renders raw fuzz input bytes in the Go fuzzing corpus file
+// format, suitable for committing under testdata/fuzz/<FuzzTarget>/ as a
+// permanent regression (see TESTING.md).
+func CorpusFile(data []byte) []byte {
+	return []byte(fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data))
+}
+
+// clone deep-copies the spec so the minimizer can mutate candidates.
+func (s *Spec) clone() *Spec {
+	c := &Spec{
+		Cards:   append([]int(nil), s.Cards...),
+		Rows:    make([][]uint32, len(s.Rows)),
+		Meas:    append([]uint8(nil), s.Meas...),
+		MinSup:  s.MinSup,
+		Workers: s.Workers,
+		Seed:    s.Seed,
+	}
+	for i, row := range s.Rows {
+		c.Rows[i] = append([]uint32(nil), row...)
+	}
+	return c
+}
+
+// String summarizes the spec for reports.
+func (s *Spec) String() string {
+	return fmt.Sprintf("spec{dims=%d cards=%v rows=%d minsup=%d workers=%d seed=%d}",
+		len(s.Cards), s.Cards, len(s.Rows), s.MinSup, s.Workers, s.Seed)
+}

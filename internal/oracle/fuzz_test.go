@@ -1,0 +1,133 @@
+package oracle
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/core"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/hashtree"
+	"icebergcube/internal/results"
+)
+
+func addSeeds(f *testing.F) {
+	for _, s := range SeedInputs() {
+		f.Add(s)
+	}
+}
+
+// FuzzDifferential is the cross-algorithm oracle under fuzzing: any
+// decodable byte string must make all six algorithms agree with
+// NaiveCube. On failure the input is minimized before reporting so the
+// corpus file go test writes is already a small reproducer.
+func FuzzDifferential(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		mism := CheckAll(spec.Run())
+		if len(mism) == 0 {
+			return
+		}
+		min := Minimize(spec, FailsDifferential)
+		rep := ""
+		for _, m := range CheckAll(min.Run()) {
+			rep += Report(&m) + "\n"
+		}
+		t.Fatalf("differential failure, minimized to %s\ncorpus file:\n%s\n%s",
+			min, CorpusFile(min.Encode()), rep)
+	})
+}
+
+// FuzzMetamorphic checks the ground-truth-free properties on one
+// algorithm per input (chosen by the input itself, so the fuzzer steers
+// coverage): MinSupport monotonicity, permutation invariance, row
+// duplication, and roll-up consistency of the full cube.
+func FuzzMetamorphic(f *testing.F) {
+	addSeeds(f)
+	algos := Algorithms()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		a := algos[(int(spec.Seed)+spec.Workers)%len(algos)]
+		run := spec.Run()
+		if msg := CheckMinSupportMonotone(a, run, spec.MinSup, spec.MinSup+2); msg != "" {
+			t.Fatalf("%s\n%s", msg, CorpusFile(data))
+		}
+		perm := make([]int, len(run.Dims))
+		for i := range perm {
+			perm[i] = len(perm) - 1 - i
+		}
+		if msg := CheckPermutationInvariance(a, run, perm); msg != "" {
+			t.Fatalf("%s\n%s", msg, CorpusFile(data))
+		}
+		if msg := CheckRowDuplication(a, run, spec.MinSup, 1); msg != "" {
+			t.Fatalf("%s\n%s", msg, CorpusFile(data))
+		}
+		full := run
+		full.Cond = agg.MinSupport(1)
+		set, err := RunSet(a, full)
+		if err != nil {
+			t.Fatalf("%s full cube failed: %v\n%s", a.Name, err, CorpusFile(data))
+		}
+		if msg := CheckRollupConsistency(set, len(run.Dims)); msg != "" {
+			t.Fatalf("%s: %s\n%s", a.Name, msg, CorpusFile(data))
+		}
+	})
+}
+
+// FuzzHashTree drives the Apriori hash-tree algorithm: with an unlimited
+// budget it must match NaiveCube; with a tiny budget it must either still
+// match or fail cleanly with ErrMemoryExhausted (the documented failure
+// mode) — never return a wrong cube.
+func FuzzHashTree(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		run := spec.Run()
+		want := core.NaiveCube(run.Rel, run.Dims, run.Cond)
+		for _, budget := range []int64{0, 512} {
+			got := results.NewSet()
+			var ctr cost.Counters
+			err := core.HashTreeCube(run.Rel, run.Dims, spec.MinSup, budget, disk.NewWriter(&ctr, got), &ctr)
+			if err != nil {
+				if budget != 0 && errors.Is(err, hashtree.ErrMemoryExhausted) {
+					continue
+				}
+				t.Fatalf("budget %d: %v\n%s", budget, err, CorpusFile(data))
+			}
+			if diff := want.Diff(got); diff != "" {
+				t.Fatalf("budget %d: hash-tree differs from naive: %s\n%s", budget, diff, CorpusFile(data))
+			}
+		}
+	})
+}
+
+// FuzzEncodeRoundTrip pins the corpus-as-reproducer invariant: decoding
+// any input and re-encoding it must decode to the identical spec.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeSpec(spec.Encode())
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v\n%s", err, CorpusFile(data))
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("round trip diverged:\n first %+v\n again %+v\n%s", spec, again, CorpusFile(data))
+		}
+	})
+}

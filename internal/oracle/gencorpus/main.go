@@ -1,0 +1,34 @@
+// Command gencorpus (re)generates the checked-in fuzz seed corpus under
+// internal/oracle/testdata/fuzz/, one directory per fuzz target, from
+// oracle.SeedInputs' encoded specs. Run it from the repo root after
+// changing the Spec encoding:
+//
+//	go run ./internal/oracle/gencorpus
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"icebergcube/internal/oracle"
+)
+
+var targets = []string{"FuzzDifferential", "FuzzMetamorphic", "FuzzHashTree", "FuzzEncodeRoundTrip"}
+
+func main() {
+	for _, tgt := range targets {
+		dir := filepath.Join("internal", "oracle", "testdata", "fuzz", tgt)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for i, data := range oracle.SeedInputs() {
+			path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(path, oracle.CorpusFile(data), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d seeds to %s\n", len(oracle.SeedInputs()), dir)
+	}
+}

@@ -1,0 +1,107 @@
+package oracle
+
+// Minimize shrinks a failing Spec to a small reproducer, ddmin-style:
+// first whole chunks of rows, then single rows, then whole dimensions,
+// then the scheduling knobs. fails must report whether a candidate still
+// exhibits the failure; the returned spec is a local minimum (removing
+// any single row or dimension makes the failure disappear).
+func Minimize(s *Spec, fails func(*Spec) bool) *Spec {
+	if !fails(s) {
+		return s
+	}
+	cur := s.clone()
+	for changed := true; changed; {
+		changed = false
+		if next, ok := shrinkRows(cur, fails); ok {
+			cur, changed = next, true
+		}
+		if next, ok := shrinkDims(cur, fails); ok {
+			cur, changed = next, true
+		}
+		if next, ok := shrinkKnobs(cur, fails); ok {
+			cur, changed = next, true
+		}
+	}
+	return cur
+}
+
+// shrinkRows removes exponentially shrinking row chunks, then singles.
+func shrinkRows(s *Spec, fails func(*Spec) bool) (*Spec, bool) {
+	shrunk := false
+	for chunk := len(s.Rows) / 2; chunk >= 1; chunk /= 2 {
+		for lo := 0; lo+chunk <= len(s.Rows) && len(s.Rows) > 1; {
+			cand := s.clone()
+			cand.Rows = append(cand.Rows[:lo:lo], cand.Rows[lo+chunk:]...)
+			cand.Meas = append(cand.Meas[:lo:lo], cand.Meas[lo+chunk:]...)
+			if fails(cand) {
+				s, shrunk = cand, true
+			} else {
+				lo += chunk
+			}
+		}
+	}
+	return s, shrunk
+}
+
+// shrinkDims drops one dimension at a time (projecting every row).
+func shrinkDims(s *Spec, fails func(*Spec) bool) (*Spec, bool) {
+	shrunk := false
+	for d := 0; d < len(s.Cards) && len(s.Cards) > 1; {
+		cand := s.clone()
+		cand.Cards = append(cand.Cards[:d:d], cand.Cards[d+1:]...)
+		for i, row := range cand.Rows {
+			cand.Rows[i] = append(row[:d:d], row[d+1:]...)
+		}
+		if fails(cand) {
+			s, shrunk = cand, true
+		} else {
+			d++
+		}
+	}
+	return s, shrunk
+}
+
+// shrinkKnobs lowers workers and minsup and zeroes measures where the
+// failure survives it.
+func shrinkKnobs(s *Spec, fails func(*Spec) bool) (*Spec, bool) {
+	shrunk := false
+	for s.Workers > 1 {
+		cand := s.clone()
+		cand.Workers--
+		if !fails(cand) {
+			break
+		}
+		s, shrunk = cand, true
+	}
+	for s.MinSup > 1 {
+		cand := s.clone()
+		cand.MinSup--
+		if !fails(cand) {
+			break
+		}
+		s, shrunk = cand, true
+	}
+	allZero := true
+	for _, m := range s.Meas {
+		if m != 0 {
+			allZero = false
+		}
+	}
+	if !allZero {
+		cand := s.clone()
+		for i := range cand.Meas {
+			cand.Meas[i] = 0
+		}
+		if fails(cand) {
+			s, shrunk = cand, true
+		}
+	}
+	return s, shrunk
+}
+
+// FailsDifferential is the Minimize predicate for cross-algorithm
+// disagreement: true if any algorithm still mismatches NaiveCube on the
+// spec.
+func FailsDifferential(s *Spec) bool {
+	return len(CheckAll(s.Run())) > 0
+}

@@ -1,0 +1,175 @@
+// Package oracle is the repo's differential- and metamorphic-testing
+// subsystem. The paper's premise (Table 1.1) is that RP, BPP, ASL, PT,
+// AHT and the hash-tree algorithm compute the *same* iceberg cube while
+// differing only in writing strategy, task shape and scheduling; this
+// package enforces that equivalence mechanically so that every perf or
+// scaling PR can be trusted cheaply:
+//
+//   - CheckAll runs one core.Run through every algorithm (plus NaiveCube
+//     as ground truth) and diffs the resulting cell sets, producing a
+//     minimized, human-readable counterexample report on mismatch;
+//   - metamorphic.go checks properties that must hold for *any* input —
+//     MinSupport monotonicity, dimension-permutation invariance,
+//     row-duplication scaling, worker-count invariance, and roll-up
+//     consistency between a cuboid and its parents in the lattice;
+//   - encode.go gives fuzzers a compact byte encoding of a whole run
+//     (relation + query parameters) with a seed corpus in testdata/;
+//   - minimize.go shrinks a failing Spec to a small reproducer.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/core"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/results"
+)
+
+// Algo is one algorithm under test.
+type Algo struct {
+	// Name identifies the algorithm in reports ("RP" … "HTREE").
+	Name string
+	// Run executes the algorithm; the caller sets run.Sink.
+	Run func(run core.Run) error
+	// CountOnly marks algorithms restricted to HAVING COUNT(*) >= N
+	// conditions (the hash-tree algorithm: Apriori pruning needs
+	// anti-monotone support).
+	CountOnly bool
+}
+
+// Algorithms returns every algorithm the oracle checks: the paper's five
+// parallel algorithms plus the §3.5.1 hash-tree (Apriori) algorithm.
+func Algorithms() []Algo {
+	wrap := func(f func(core.Run) (*core.Report, error)) func(core.Run) error {
+		return func(run core.Run) error { _, err := f(run); return err }
+	}
+	return []Algo{
+		{Name: "RP", Run: wrap(core.RP)},
+		{Name: "BPP", Run: wrap(core.BPP)},
+		{Name: "ASL", Run: wrap(core.ASL)},
+		{Name: "PT", Run: wrap(core.PT)},
+		{Name: "AHT", Run: wrap(core.AHT)},
+		{Name: "HTREE", Run: runHashTree, CountOnly: true},
+	}
+}
+
+// runHashTree adapts the sequential hash-tree algorithm to the Run shape.
+func runHashTree(run core.Run) error {
+	minsup := int64(1)
+	switch c := run.Cond.(type) {
+	case nil:
+	case agg.MinSupport:
+		minsup = int64(c)
+	default:
+		return fmt.Errorf("oracle: hash-tree supports only MinSupport conditions, got %T", run.Cond)
+	}
+	var ctr cost.Counters
+	return core.HashTreeCube(run.Rel, run.Dims, minsup, 0, disk.NewWriter(&ctr, run.Sink), &ctr)
+}
+
+// RunSet executes one algorithm and collects its cells.
+func RunSet(a Algo, run core.Run) (*results.Set, error) {
+	set := results.NewSet()
+	run.Sink = set
+	if err := a.Run(run); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// Mismatch records one algorithm disagreeing with the ground truth (or
+// failing outright).
+type Mismatch struct {
+	// Algo names the disagreeing algorithm.
+	Algo string
+	// Diff is the cell-level discrepancy (results.Set.Diff format), or
+	// the execution error.
+	Diff string
+	// Run is the input that provoked the mismatch (Sink cleared).
+	Run core.Run
+}
+
+// Error renders the mismatch as a counterexample report.
+func (m *Mismatch) Error() string { return Report(m) }
+
+// CheckAll runs every applicable algorithm over run and diffs its cells
+// against the NaiveCube ground truth. It returns one Mismatch per
+// disagreeing algorithm (nil slice ⇔ all agree). run.Sink is ignored.
+func CheckAll(run core.Run) []Mismatch {
+	cond := run.Cond
+	if cond == nil {
+		cond = agg.MinSupport(1)
+	}
+	want := core.NaiveCube(run.Rel, run.Dims, cond)
+	var out []Mismatch
+	for _, a := range Algorithms() {
+		if a.CountOnly {
+			if _, ok := cond.(agg.MinSupport); !ok {
+				continue
+			}
+		}
+		got, err := RunSet(a, run)
+		if err != nil {
+			out = append(out, Mismatch{Algo: a.Name, Diff: "execution error: " + err.Error(), Run: scrub(run)})
+			continue
+		}
+		if diff := want.Diff(got); diff != "" {
+			out = append(out, Mismatch{Algo: a.Name, Diff: diff, Run: scrub(run)})
+		}
+	}
+	return out
+}
+
+// scrub drops the sink so a Mismatch's Run can be re-executed cleanly.
+func scrub(run core.Run) core.Run {
+	run.Sink = nil
+	return run
+}
+
+// Report renders a mismatch as a self-contained, human-readable
+// counterexample: the algorithm, the query parameters, the input relation
+// row by row, and the cell diff. The same text reproduces the failure by
+// hand or via a decoded corpus file (see TESTING.md).
+func Report(m *Mismatch) string {
+	var b strings.Builder
+	run := m.Run
+	fmt.Fprintf(&b, "oracle counterexample: %s disagrees with NaiveCube\n", m.Algo)
+	fmt.Fprintf(&b, "  query: dims=%v cond=%s workers=%d parallel=%v seed=%d taskratio=%d noaffinity=%v extaffinity=%v mixedhash=%v\n",
+		run.Dims, condString(run.Cond), run.Workers, run.Parallel, run.Seed, run.TaskRatio, run.NoAffinity, run.ExtendedAffinity, run.MixedHash)
+	if rel := run.Rel; rel != nil {
+		cards := make([]int, rel.NumDims())
+		for d := range cards {
+			cards[d] = rel.Card(d)
+		}
+		fmt.Fprintf(&b, "  relation: %d rows, cards=%v\n", rel.Len(), cards)
+		const maxRows = 64
+		for row := 0; row < rel.Len() && row < maxRows; row++ {
+			vals := make([]uint32, rel.NumDims())
+			for d := range vals {
+				vals[d] = rel.Value(d, row)
+			}
+			fmt.Fprintf(&b, "    row %2d: %v measure=%g\n", row, vals, rel.Measure(row))
+		}
+		if rel.Len() > maxRows {
+			fmt.Fprintf(&b, "    … %d more rows\n", rel.Len()-maxRows)
+		}
+	}
+	fmt.Fprintf(&b, "  diff: %s", m.Diff)
+	return b.String()
+}
+
+func condString(c agg.Condition) string {
+	switch v := c.(type) {
+	case nil:
+		return "COUNT>=1"
+	case agg.MinSupport:
+		return fmt.Sprintf("COUNT>=%d", int64(v))
+	case agg.MinSum:
+		return fmt.Sprintf("SUM>=%g", float64(v))
+	default:
+		return fmt.Sprintf("%T", c)
+	}
+}

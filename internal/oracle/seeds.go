@@ -1,0 +1,28 @@
+package oracle
+
+import "bytes"
+
+// SeedInputs returns the shared fuzz seed corpus (committed under
+// testdata/fuzz/ by internal/oracle/gencorpus and f.Add-ed by every
+// target). Each input exercises a distinct regime: tiny single-dimension,
+// heavy duplication (pruning at minsup 4), a 5-dimension lattice on 8
+// workers, and two raw byte patterns including saturated values.
+func SeedInputs() [][]byte {
+	dup := &Spec{Cards: []int{3, 3}, MinSup: 4, Workers: 3, Seed: 11}
+	for i := 0; i < 12; i++ {
+		dup.Rows = append(dup.Rows, []uint32{uint32(i % 2), 0})
+		dup.Meas = append(dup.Meas, uint8(i%5))
+	}
+	five := &Spec{Cards: []int{2, 3, 4, 5, 6}, MinSup: 2, Workers: 8, Seed: 42}
+	for i := 0; i < 20; i++ {
+		five.Rows = append(five.Rows, []uint32{uint32(i % 2), uint32(i % 3), uint32(i * i % 4), uint32(i % 5), uint32(i * 7 % 6)})
+		five.Meas = append(five.Meas, uint8(i%maxMeasure))
+	}
+	return [][]byte{
+		(&Spec{Cards: []int{2}, Rows: [][]uint32{{1}, {1}, {0}}, Meas: []uint8{3, 0, 20}, MinSup: 2, Workers: 1, Seed: 0}).Encode(),
+		dup.Encode(),
+		five.Encode(),
+		bytes.Repeat([]byte{7}, 40),
+		bytes.Repeat([]byte{0xff}, 64),
+	}
+}
