@@ -3,7 +3,14 @@
 FUZZTIME ?= 30s
 FUZZ_TARGETS := FuzzDifferential FuzzMetamorphic FuzzHashTree FuzzEncodeRoundTrip
 
-.PHONY: build vet test short race fuzz corpus
+.PHONY: build vet test short race chaos fuzz corpus
+
+# The chaos suite: fault injection, failure detection and recovery tests
+# across the transport, scheduler, distributed-cube and POL layers. Every
+# fault schedule is seeded and deterministic; -race is on because these
+# paths are the most concurrent in the repo.
+CHAOS_PKGS := ./internal/mpi ./internal/cluster ./internal/core ./internal/online ./internal/oracle
+CHAOS_RUN  := 'Chaos|Fault|Recovery|Dead|Timeout|Kill|Degrad|Collective'
 
 build:
 	go build ./...
@@ -22,6 +29,9 @@ short:
 # race coverage comes from core/cluster/mpi/oracle.
 race:
 	go test -race -timeout 15m ./...
+
+chaos:
+	go test -race -timeout 10m -count=1 -run $(CHAOS_RUN) $(CHAOS_PKGS)
 
 # Run each fuzz target for $(FUZZTIME). Checked-in corpus entries under
 # internal/oracle/testdata/fuzz/ also replay as regression tests in `make test`.

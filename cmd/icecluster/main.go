@@ -113,12 +113,16 @@ func runRank(rank int, addrs []string, tuples, dims int, minsup, seed int64, pol
 
 	local := results.NewSet()
 	start := time.Now()
-	total, err := core.DistributedCube(comm, rel, cube, agg.MinSupport(minsup), local)
+	rep, err := core.DistributedCube(comm, rel, cube, agg.MinSupport(minsup), local)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("rank %d: cube done, %d local cells of %d total (%.2fs)\n",
-		rank, local.NumCells(), total, time.Since(start).Seconds())
+		rank, local.NumCells(), rep.Total, time.Since(start).Seconds())
+	if rank == 0 && (rep.Reassigned > 0 || len(rep.Dead) > 0 || len(rep.Degraded) > 0) {
+		fmt.Printf("rank 0: recovery: %d reassigned, dead ranks %v, degraded tasks %v\n",
+			rep.Reassigned, rep.Dead, rep.Degraded)
+	}
 
 	merged, err := core.GatherCells(comm, local)
 	if err != nil {

@@ -1,8 +1,9 @@
 // Cluster: the deployment shape of the paper's real system — one MPI rank
 // per PC, message passing between them. This demo wires a 4-rank world
 // over real TCP sockets on loopback (the same code runs across machines by
-// changing the address list), computes the iceberg cube with each rank
-// owning BUC subtrees, and gathers the distributed cuboids at rank 0.
+// changing the address list) and computes the iceberg cube with rank 0 as
+// the fault-tolerant manager granting BUC subtrees to workers on demand;
+// completed tasks' cells commit into rank 0's sink exactly once.
 package main
 
 import (
@@ -65,14 +66,16 @@ func run(w io.Writer) error {
 			}
 			defer comm.Close()
 
+			// Rank 0 is the manager: every task's cells are committed into
+			// its sink exactly once; worker ranks only stage and ship.
 			local := results.NewSet()
-			total, err := core.DistributedCube(comm, rel, dims, agg.MinSupport(2), local)
+			rep, err := core.DistributedCube(comm, rel, dims, agg.MinSupport(2), local)
 			if err != nil {
 				out[rank].err = fmt.Errorf("rank %d: %w", rank, err)
 				return
 			}
 			out[rank].localCells = local.NumCells()
-			out[rank].total = total
+			out[rank].total = rep.Total
 
 			merged, err := core.GatherCells(comm, local)
 			if err != nil {

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"fmt"
+
+	"icebergcube/internal/hashtree"
+)
+
+// Chaos runner: RunVirtual's deterministic min-clock loop extended with a
+// fault plan. Faults are a pure function of the plan (which task index a
+// worker dies on, which workers straggle), so a chaos run is exactly
+// reproducible — the property the chaos differential suite relies on to
+// compare faulty runs against the fault-free oracle.
+//
+// The failure model mirrors the distributed runtime (core/dist.go): a dead
+// worker's in-flight task is discarded and reassigned to survivors (its
+// statically queued tasks too, via Reassigner); a straggler holding a task
+// past its lease gets speculatively re-executed elsewhere; and every task's
+// output commits exactly once — the committed-task map drops duplicate
+// completions, so re-execution never double-counts cells.
+
+// ChaosPlan is a deterministic fault schedule for a simulated-cluster run.
+// The zero value injects nothing (RunChaos then behaves like RunVirtual).
+type ChaosPlan struct {
+	// KillAfterTasks kills workers: worker w dies while executing the task
+	// after its KillAfterTasks[w]-th successful commit (0 = dies on its
+	// first task). Its staged output is discarded and its work reassigned.
+	KillAfterTasks map[int]int
+	// SlowFactor stretches a worker's virtual execution time by the given
+	// factor (> 1), modelling a straggling node.
+	SlowFactor map[int]float64
+	// LeaseSeconds is the task lease: a task whose virtual execution time
+	// exceeds it is speculatively re-executed on the least-loaded other
+	// live worker, and the duplicate commit is dropped. <= 0 disables
+	// speculation.
+	LeaseSeconds float64
+	// TaskMemBudget caps one task's staged output bytes; exceeding it fails
+	// the task with an error wrapping hashtree.ErrMemoryExhausted — the
+	// repo-wide memory-exhaustion sentinel — exercising graceful
+	// degradation. <= 0 disables the budget.
+	TaskMemBudget int64
+}
+
+// ChaosReport summarizes what the fault plan did to a run.
+type ChaosReport struct {
+	// Killed lists worker IDs that died, in death order.
+	Killed []int
+	// Reassigned counts tasks moved off dead workers (the in-flight task
+	// plus any statically queued ones).
+	Reassigned int
+	// Speculated counts lease-expired tasks re-executed on another worker.
+	Speculated int
+	// DuplicatesDropped counts task completions discarded by the
+	// exactly-once commit (speculative copies, re-runs of committed work).
+	DuplicatesDropped int
+}
+
+// RunChaos drives the scheduler to completion under the fault plan and
+// returns the chaos report plus the tasks that failed (nil when all
+// succeeded). Output correctness contract: the target sink receives exactly
+// the cells a fault-free run would produce, as long as at least one worker
+// survives; if every worker dies the outstanding tasks are reported as
+// failures wrapping ErrAllWorkersDead.
+func RunChaos(workers []*Worker, sched Scheduler, plan ChaosPlan) (*ChaosReport, []TaskFailure) {
+	rep := &ChaosReport{}
+	var failures []TaskFailure
+
+	alive := make([]bool, len(workers))
+	idle := make([]bool, len(workers))
+	for i := range alive {
+		alive[i] = true
+	}
+	liveCount := len(workers)
+	commits := make([]int, len(workers)) // successful commits per worker (kill trigger)
+	committed := make(map[*Task]bool)    // exactly-once commit registry
+	var requeue []*Task                  // tasks taken back from dead workers, FIFO
+
+	wakeIdle := func() {
+		for i := range idle {
+			idle[i] = false
+		}
+	}
+
+	for {
+		// Pick the live, non-idle worker with the smallest clock.
+		min := -1
+		for i, w := range workers {
+			if !alive[i] || idle[i] {
+				continue
+			}
+			if min < 0 || w.Clock < workers[min].Clock {
+				min = i
+			}
+		}
+		if min < 0 {
+			if liveCount > 0 && len(requeue) == 0 {
+				return rep, failures // all live workers idle, nothing queued: done
+			}
+			// Every worker is dead with work outstanding: report what we
+			// can still name (the requeue; the scheduler's remaining tasks
+			// are drained through the dead workers' identities).
+			for _, t := range requeue {
+				failures = append(failures, TaskFailure{Label: t.Label, Worker: -1, Err: ErrAllWorkersDead})
+			}
+			for _, w := range workers {
+				for t := sched.Next(w); t != nil; t = sched.Next(w) {
+					if !committed[t] {
+						failures = append(failures, TaskFailure{Label: t.Label, Worker: -1, Err: ErrAllWorkersDead})
+					}
+				}
+			}
+			return rep, failures
+		}
+		w := workers[min]
+
+		var t *Task
+		if len(requeue) > 0 {
+			t = requeue[0]
+			requeue = requeue[1:]
+		} else if t = sched.Next(w); t == nil {
+			idle[min] = true
+			continue
+		}
+		if committed[t] {
+			rep.DuplicatesDropped++
+			continue
+		}
+
+		// Scheduled death: the worker starts this task but never reports
+		// back. Its partial work is discarded and the task (plus whatever
+		// its static queue still held) goes back for reassignment.
+		if k, ok := plan.KillAfterTasks[w.ID]; ok && commits[w.ID] >= k {
+			runTask(w, t) // partial work still costs the cluster time
+			if w.stage != nil {
+				w.stage.Discard()
+			}
+			alive[min] = false
+			liveCount--
+			rep.Killed = append(rep.Killed, w.ID)
+			requeue = append(requeue, t)
+			rep.Reassigned++
+			if ra, ok := sched.(Reassigner); ok {
+				for _, qt := range ra.Reassign(w.ID) {
+					requeue = append(requeue, qt)
+					rep.Reassigned++
+				}
+			}
+			wakeIdle()
+			continue
+		}
+
+		elapsed, err := runTask(w, t)
+		if sf := plan.SlowFactor[w.ID]; sf > 1 {
+			w.Sleep(elapsed * (sf - 1))
+			elapsed *= sf
+		}
+		if err == nil && plan.TaskMemBudget > 0 && w.stage != nil && w.stage.Bytes() > plan.TaskMemBudget {
+			err = fmt.Errorf("cluster: task %q staged %d bytes over budget %d: %w",
+				t.Label, w.stage.Bytes(), plan.TaskMemBudget, hashtree.ErrMemoryExhausted)
+		}
+		if err != nil {
+			if w.stage != nil {
+				w.stage.Discard()
+			}
+			failures = append(failures, TaskFailure{Label: t.Label, Worker: w.ID, Err: err})
+			committed[t] = true // deterministic failure: re-running it elsewhere would fail the same way
+			continue
+		}
+
+		// Lease expiry: the manager, not having heard a completion within
+		// the lease, speculatively re-executed the task on the least-loaded
+		// other live worker. Exactly-once commit keeps only one copy.
+		if plan.LeaseSeconds > 0 && elapsed > plan.LeaseSeconds && liveCount > 1 {
+			spec := -1
+			for i, sw := range workers {
+				if !alive[i] || i == min {
+					continue
+				}
+				if spec < 0 || sw.Clock < workers[spec].Clock {
+					spec = i
+				}
+			}
+			if spec >= 0 {
+				sw := workers[spec]
+				runTask(sw, t)
+				if sw.stage != nil {
+					sw.stage.Discard() // the straggler's copy wins the commit race below
+				}
+				rep.Speculated++
+				rep.DuplicatesDropped++
+			}
+		}
+
+		committed[t] = true
+		if w.stage != nil {
+			w.stage.Commit()
+		}
+		commits[w.ID]++
+	}
+}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/hashtree"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/results"
+)
+
+// cellTask writes `cells` distinct cells (keyed by the task id) into the
+// worker's stage and burns enough virtual time to make clocks move.
+func cellTask(id, cells int, sink *results.Set) *Task {
+	return &Task{
+		Label: fmt.Sprintf("task-%d", id),
+		Run: func(w *Worker) error {
+			out := w.StageTo(sink)
+			st := agg.NewState()
+			st.Add(1)
+			for c := 0; c < cells; c++ {
+				out.WriteCell(lattice.Mask(1), []uint32{uint32(id), uint32(c)}, st)
+			}
+			w.Ctr.Compares += 1_000_000
+			return nil
+		},
+	}
+}
+
+// chaosFixture builds n workers, a round-robin queue scheduler over `tasks`
+// cell tasks, and the sink they feed.
+func chaosFixture(n, tasks, cellsPer int) ([]*Worker, *QueueScheduler, *results.Set) {
+	sink := results.NewSet()
+	sched := NewQueueScheduler(n)
+	var ts []*Task
+	for i := 0; i < tasks; i++ {
+		ts = append(ts, cellTask(i, cellsPer, sink))
+	}
+	sched.AssignRoundRobin(ts)
+	return NewWorkers(cost.BaselineCluster(n), n, nil), sched, sink
+}
+
+// faultFreeCells computes the oracle: what the sink holds after a run with
+// no faults at all.
+func faultFreeCells(tasks, cellsPer int) *results.Set {
+	workers, sched, sink := chaosFixture(2, tasks, cellsPer)
+	if f := RunVirtual(workers, sched); f != nil {
+		panic(fmt.Sprintf("fault-free run failed: %v", f))
+	}
+	return sink
+}
+
+// TestRunChaosZeroPlanMatchesVirtual: the zero plan injects nothing, so
+// RunChaos is RunVirtual.
+func TestRunChaosZeroPlanMatchesVirtual(t *testing.T) {
+	want := faultFreeCells(9, 4)
+	workers, sched, sink := chaosFixture(3, 9, 4)
+	rep, failures := RunChaos(workers, sched, ChaosPlan{})
+	if failures != nil {
+		t.Fatalf("failures under zero plan: %v", failures)
+	}
+	if len(rep.Killed) != 0 || rep.Reassigned != 0 || rep.Speculated != 0 || rep.DuplicatesDropped != 0 {
+		t.Fatalf("zero plan produced chaos: %+v", rep)
+	}
+	if diff := want.Diff(sink); diff != "" {
+		t.Fatalf("zero-plan output differs from RunVirtual: %s", diff)
+	}
+}
+
+// TestRunChaosKillReassigns: a worker dying mid-run loses its in-flight
+// task and its static queue to the survivors, and the sink still ends up
+// identical to the fault-free run — nothing lost, nothing double-counted.
+func TestRunChaosKillReassigns(t *testing.T) {
+	want := faultFreeCells(12, 4)
+	workers, sched, sink := chaosFixture(3, 12, 4)
+	rep, failures := RunChaos(workers, sched, ChaosPlan{
+		KillAfterTasks: map[int]int{1: 1}, // worker 1 dies on its 2nd task
+	})
+	if failures != nil {
+		t.Fatalf("failures: %v", failures)
+	}
+	if len(rep.Killed) != 1 || rep.Killed[0] != 1 {
+		t.Fatalf("Killed = %v, want [1]", rep.Killed)
+	}
+	// The in-flight task plus at least one still-queued task moved.
+	if rep.Reassigned < 2 {
+		t.Fatalf("Reassigned = %d, want >= 2 (in-flight + drained queue)", rep.Reassigned)
+	}
+	if diff := want.Diff(sink); diff != "" {
+		t.Fatalf("cube after worker death differs from fault-free run: %s", diff)
+	}
+}
+
+// TestRunChaosStragglerSpeculation: a slowed worker blows its task lease,
+// the task is speculatively re-executed elsewhere, and exactly-once commit
+// drops the duplicate copy.
+func TestRunChaosStragglerSpeculation(t *testing.T) {
+	want := faultFreeCells(8, 3)
+	workers, sched, sink := chaosFixture(2, 8, 3)
+	rep, failures := RunChaos(workers, sched, ChaosPlan{
+		SlowFactor:   map[int]float64{0: 50},
+		LeaseSeconds: 1, // a 1e6-compare task takes ~0.125s; ×50 ≈ 6s > lease
+	})
+	if failures != nil {
+		t.Fatalf("failures: %v", failures)
+	}
+	if rep.Speculated == 0 {
+		t.Fatal("straggler never triggered speculation")
+	}
+	if rep.DuplicatesDropped < rep.Speculated {
+		t.Fatalf("%d speculations but only %d duplicates dropped", rep.Speculated, rep.DuplicatesDropped)
+	}
+	if diff := want.Diff(sink); diff != "" {
+		t.Fatalf("speculative re-execution changed the output: %s", diff)
+	}
+}
+
+// TestRunChaosMemBudgetDegrades: a task staging more bytes than the budget
+// fails with the repo-wide memory-exhaustion sentinel; its cells are
+// discarded, the other tasks' cells survive, and the run completes.
+func TestRunChaosMemBudgetDegrades(t *testing.T) {
+	sink := results.NewSet()
+	sched := NewQueueScheduler(2)
+	sched.Assign(0, cellTask(0, 100, sink)) // way over budget
+	sched.Assign(1, cellTask(1, 1, sink))
+	workers := NewWorkers(cost.BaselineCluster(2), 2, nil)
+	rep, failures := RunChaos(workers, sched, ChaosPlan{
+		TaskMemBudget: 64, // one cell's worth
+	})
+	if len(failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the oversized task", failures)
+	}
+	if failures[0].Label != "task-0" || !errors.Is(failures[0].Err, hashtree.ErrMemoryExhausted) {
+		t.Fatalf("failure %+v does not wrap ErrMemoryExhausted", failures[0])
+	}
+	if sink.NumCells() != 1 {
+		t.Fatalf("sink holds %d cells, want only the small task's 1", sink.NumCells())
+	}
+	if len(rep.Killed) != 0 {
+		t.Fatalf("memory pressure killed a worker: %+v", rep)
+	}
+}
+
+// TestRunChaosAllWorkersDie: with every worker on a kill schedule the
+// outstanding tasks surface as ErrAllWorkersDead failures instead of a
+// hang or silent truncation.
+func TestRunChaosAllWorkersDie(t *testing.T) {
+	workers, sched, _ := chaosFixture(2, 10, 2)
+	rep, failures := RunChaos(workers, sched, ChaosPlan{
+		KillAfterTasks: map[int]int{0: 1, 1: 2},
+	})
+	if len(rep.Killed) != 2 {
+		t.Fatalf("Killed = %v, want both workers", rep.Killed)
+	}
+	if len(failures) == 0 {
+		t.Fatal("no failures reported with zero survivors and tasks outstanding")
+	}
+	for _, f := range failures {
+		if !errors.Is(f.Err, ErrAllWorkersDead) {
+			t.Fatalf("failure %+v, want ErrAllWorkersDead", f)
+		}
+	}
+	// 3 tasks committed before the deaths (1 on worker 0, 2 on worker 1);
+	// every other task must be accounted for as a failure.
+	if len(failures) != 7 {
+		t.Fatalf("%d failures, want the 7 uncommitted tasks", len(failures))
+	}
+}
+
+// TestRunChaosDeterminism: the same plan over the same fixture produces
+// byte-identical reports, clocks, and output — the reproducibility the
+// chaos differential suite depends on.
+func TestRunChaosDeterminism(t *testing.T) {
+	run := func() (*ChaosReport, []float64, *results.Set) {
+		workers, sched, sink := chaosFixture(3, 15, 3)
+		rep, failures := RunChaos(workers, sched, ChaosPlan{
+			KillAfterTasks: map[int]int{2: 1},
+			SlowFactor:     map[int]float64{1: 30},
+			LeaseSeconds:   1,
+		})
+		if failures != nil {
+			t.Fatalf("failures: %v", failures)
+		}
+		return rep, Loads(workers), sink
+	}
+	repA, loadsA, sinkA := run()
+	repB, loadsB, sinkB := run()
+	if fmt.Sprintf("%+v", repA) != fmt.Sprintf("%+v", repB) {
+		t.Fatalf("reports differ:\n  %+v\n  %+v", repA, repB)
+	}
+	for i := range loadsA {
+		if loadsA[i] != loadsB[i] {
+			t.Fatalf("clocks differ: %v vs %v", loadsA, loadsB)
+		}
+	}
+	if diff := sinkA.Diff(sinkB); diff != "" {
+		t.Fatalf("outputs differ: %s", diff)
+	}
+}

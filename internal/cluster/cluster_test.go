@@ -9,8 +9,9 @@ import (
 )
 
 func workTask(units int64) *Task {
-	return &Task{Label: "work", Run: func(w *Worker) {
+	return &Task{Label: "work", Run: func(w *Worker) error {
 		w.Ctr.Compares += units
+		return nil
 	}}
 }
 
@@ -83,9 +84,10 @@ func TestParallelRunsEverything(t *testing.T) {
 	var executed atomic.Int64
 	var tasks []*Task
 	for i := 0; i < 100; i++ {
-		tasks = append(tasks, &Task{Run: func(w *Worker) {
+		tasks = append(tasks, &Task{Run: func(w *Worker) error {
 			executed.Add(1)
 			w.Ctr.Compares += 10
+			return nil
 		}})
 	}
 	sched := &poolScheduler{tasks: tasks}

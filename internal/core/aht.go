@@ -64,10 +64,11 @@ func (s *ahtScheduler) Next(w *cluster.Worker) *cluster.Task {
 	defer s.mu.Unlock()
 	if !s.allDone {
 		s.allDone = true
-		return &cluster.Task{Label: "all", Run: func(w *cluster.Worker) {
+		return &cluster.Task{Label: "all", Run: func(w *cluster.Worker) error {
 			st := w.State.(*ahtState)
 			ensureReplica(w, &st.loaded, &st.view, s.run)
 			writeAll(s.run.Rel, st.view, s.run.Cond, st.out, &w.Ctr)
+			return nil
 		}}
 	}
 	if len(s.remaining) == 0 {
@@ -78,7 +79,7 @@ func (s *ahtScheduler) Next(w *cluster.Worker) *cluster.Task {
 	delete(s.remaining, mask)
 	return &cluster.Task{
 		Label: fmt.Sprintf("cuboid %s (%s)", mask.Label(s.names), mode),
-		Run:   func(w *cluster.Worker) { ahtCompute(s.run, w, mask) },
+		Run:   func(w *cluster.Worker) error { ahtCompute(s.run, w, mask); return nil },
 	}
 }
 
@@ -184,9 +185,9 @@ func AHTWithBits(run Run, tableBits int) (*Report, error) {
 		remaining[m] = true
 	}
 	workers := cluster.NewWorkers(run.Cluster, run.Workers, func(w *cluster.Worker) {
-		w.State = &ahtState{out: disk.NewWriter(&w.Ctr, run.Sink), cards: cards, bits: tableBits}
+		w.State = &ahtState{out: disk.NewWriter(&w.Ctr, w.StageTo(run.Sink)), cards: cards, bits: tableBits}
 	})
 	sched := &ahtScheduler{run: run, remaining: remaining, names: cubeNames(run)}
-	run.run(workers, sched)
-	return &Report{Algorithm: "AHT", Workers: workers, Makespan: cluster.Makespan(workers)}, nil
+	chaos, failures := run.run(workers, sched)
+	return finishReport(&Report{Algorithm: "AHT", Workers: workers, Makespan: cluster.Makespan(workers)}, chaos, failures)
 }

@@ -66,10 +66,11 @@ func (s *aslScheduler) Next(w *cluster.Worker) *cluster.Task {
 	defer s.mu.Unlock()
 	if !s.allDone {
 		s.allDone = true
-		return &cluster.Task{Label: "all", Run: func(w *cluster.Worker) {
+		return &cluster.Task{Label: "all", Run: func(w *cluster.Worker) error {
 			st := w.State.(*aslState)
 			ensureReplica(w, &st.loaded, &st.view, s.run)
 			writeAll(s.run.Rel, st.view, s.run.Cond, st.out, &w.Ctr)
+			return nil
 		}}
 	}
 	if len(s.remaining) == 0 {
@@ -80,7 +81,7 @@ func (s *aslScheduler) Next(w *cluster.Worker) *cluster.Task {
 	delete(s.remaining, mask)
 	return &cluster.Task{
 		Label: fmt.Sprintf("cuboid %s (%s)", mask.Label(s.names), mode),
-		Run:   func(w *cluster.Worker) { aslCompute(s.run, w, mask) },
+		Run:   func(w *cluster.Worker) error { aslCompute(s.run, w, mask); return nil },
 	}
 }
 
@@ -261,11 +262,11 @@ func ASL(run Run) (*Report, error) {
 	}
 	workers := cluster.NewWorkers(run.Cluster, run.Workers, func(w *cluster.Worker) {
 		w.State = &aslState{
-			out:  disk.NewWriter(&w.Ctr, run.Sink),
+			out:  disk.NewWriter(&w.Ctr, w.StageTo(run.Sink)),
 			seed: run.Seed + int64(w.ID)<<20,
 		}
 	})
 	sched := &aslScheduler{run: run, remaining: remaining, names: cubeNames(run)}
-	run.run(workers, sched)
-	return &Report{Algorithm: "ASL", Workers: workers, Makespan: cluster.Makespan(workers)}, nil
+	chaos, failures := run.run(workers, sched)
+	return finishReport(&Report{Algorithm: "ASL", Workers: workers, Makespan: cluster.Makespan(workers)}, chaos, failures)
 }

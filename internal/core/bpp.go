@@ -38,7 +38,7 @@ func BPP(run Run) (*Report, error) {
 		out *disk.Writer
 	}
 	workers := cluster.NewWorkers(run.Cluster, n, func(w *cluster.Worker) {
-		w.State = &bppState{out: disk.NewWriter(&w.Ctr, run.Sink)}
+		w.State = &bppState{out: disk.NewWriter(&w.Ctr, w.StageTo(run.Sink))}
 	})
 	bytesPerRow := int64(4*rel.NumDims() + 8)
 	for i := 0; i < m; i++ {
@@ -62,7 +62,7 @@ func BPP(run Run) (*Report, error) {
 	sched := cluster.NewQueueScheduler(n)
 	sched.Assign(0, &cluster.Task{
 		Label: "all",
-		Run: func(w *cluster.Worker) {
+		Run: func(w *cluster.Worker) error {
 			// The "all" aggregate only needs one pass over any full
 			// partitioning of the data; use attribute 0's local chunks
 			// (their union is R). Each worker could do its own share;
@@ -70,6 +70,7 @@ func BPP(run Run) (*Report, error) {
 			// cheap, as the paper notes.
 			view := rel.Identity()
 			writeAll(rel, view, cond, w.State.(*bppState).out, &w.Ctr)
+			return nil
 		},
 	})
 	names := cubeNames(run)
@@ -80,19 +81,20 @@ func BPP(run Run) (*Report, error) {
 			chunk := chunks[i][j]
 			sched.Assign(j, &cluster.Task{
 				Label: fmt.Sprintf("chunk R_%s(%d)", names[i], j),
-				Run: func(w *cluster.Worker) {
+				Run: func(w *cluster.Worker) error {
 					if len(chunk) == 0 {
-						return
+						return nil
 					}
 					s := w.State.(*bppState)
 					w.Ctr.BytesRead += int64(len(chunk)) * bytesPerRow
 					view := append([]int32(nil), chunk...)
 					rel.SortView(view, []int{dims[i]}, &w.Ctr)
 					RunSubtree(rel, view, dims, sub, cond, s.out, &w.Ctr)
+					return nil
 				},
 			})
 		}
 	}
-	run.run(workers, sched)
-	return &Report{Algorithm: "BPP", Workers: workers, Makespan: cluster.Makespan(workers)}, nil
+	chaos, failures := run.run(workers, sched)
+	return finishReport(&Report{Algorithm: "BPP", Workers: workers, Makespan: cluster.Makespan(workers)}, chaos, failures)
 }

@@ -1,17 +1,41 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"icebergcube/internal/agg"
+	"icebergcube/internal/hashtree"
 	"icebergcube/internal/mpi"
 	"icebergcube/internal/results"
 )
 
+// distWorld runs DistributedCube on every rank of a world concurrently and
+// returns rank 0's sink, rank 0's report, and every rank's error.
+func distWorld(t *testing.T, comms []mpi.Comm, run func(r int, sink *results.Set) (*DistReport, error)) (*results.Set, *DistReport, []error) {
+	t.Helper()
+	n := len(comms)
+	errs := make([]error, n)
+	reps := make([]*DistReport, n)
+	sinks := make([]*results.Set, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sinks[r] = results.NewSet()
+			reps[r], errs[r] = run(r, sinks[r])
+		}(r)
+	}
+	wg.Wait()
+	return sinks[0], reps[0], errs
+}
+
 // TestDistributedCubeMatchesNaive runs the MPI deployment over the
-// in-process transport: every rank computes its subtrees, cells gather at
-// rank 0, and the merged set equals the oracle.
+// in-process transport: the manager grants subtree tasks on demand,
+// workers ship their cells back, and rank 0's sink equals the oracle.
 func TestDistributedCubeMatchesNaive(t *testing.T) {
 	rel := testRel(900, 5, 23)
 	dims := allDims(rel)
@@ -19,45 +43,176 @@ func TestDistributedCubeMatchesNaive(t *testing.T) {
 
 	for _, n := range []int{1, 2, 4} {
 		comms := mpi.NewLocalWorld(n)
-		totals := make([]int64, n)
-		var merged *results.Set
-		var wg sync.WaitGroup
-		for r := 0; r < n; r++ {
-			wg.Add(1)
-			go func(r int) {
-				defer wg.Done()
-				local := results.NewSet()
-				total, err := DistributedCube(comms[r], rel, dims, agg.MinSupport(2), local)
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				totals[r] = total
-				m, err := GatherCells(comms[r], local)
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				if r == 0 {
-					merged = m
-				}
-			}(r)
-		}
-		wg.Wait()
-		if t.Failed() {
-			t.Fatalf("n=%d failed", n)
-		}
-		if diff := want.Diff(merged); diff != "" {
-			t.Fatalf("n=%d: gathered cube differs from naive: %s", n, diff)
-		}
-		for r := 1; r < n; r++ {
-			if totals[r] != totals[0] {
-				t.Fatalf("n=%d: all-reduced totals disagree: %v", n, totals)
+		sink0, rep0, errs := distWorld(t, comms, func(r int, sink *results.Set) (*DistReport, error) {
+			return DistributedCube(comms[r], rel, dims, agg.MinSupport(2), sink, WithLease(500*time.Millisecond))
+		})
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("n=%d rank %d: %v", n, r, err)
 			}
 		}
-		if totals[0] != int64(want.NumCells()) {
-			t.Fatalf("n=%d: reduced total %d, oracle has %d cells", n, totals[0], want.NumCells())
+		if diff := want.Diff(sink0); diff != "" {
+			t.Fatalf("n=%d: manager cube differs from naive: %s", n, diff)
 		}
+		if rep0.Total != int64(want.NumCells()) {
+			t.Fatalf("n=%d: total %d, oracle has %d cells", n, rep0.Total, want.NumCells())
+		}
+		if rep0.TasksRun != len(dims) {
+			t.Fatalf("n=%d: %d tasks committed, want %d", n, rep0.TasksRun, len(dims))
+		}
+		for _, c := range comms {
+			c.Close()
+		}
+	}
+}
+
+// TestDistributedCubeWorkerTotalsAgree: every surviving worker learns the
+// same world-wide total from the FIN message.
+func TestDistributedCubeWorkerTotalsAgree(t *testing.T) {
+	rel := testRel(500, 4, 7)
+	dims := allDims(rel)
+	n := 3
+	comms := mpi.NewLocalWorld(n)
+	reps := make([]*DistReport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			reps[r], errs[r] = DistributedCube(comms[r], rel, dims, agg.MinSupport(2), results.NewSet(),
+				WithLease(500*time.Millisecond))
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		if reps[r].Total != reps[0].Total {
+			t.Fatalf("rank %d total %d != manager total %d", r, reps[r].Total, reps[0].Total)
+		}
+	}
+}
+
+// TestDistributedCubeSurvivesWorkerDeath is the tentpole acceptance test:
+// a rank is killed mid-run by fault injection (plus message drops and
+// delays), yet the manager's cube is identical to the fault-free naive
+// cube — the dead worker's task is reassigned and no cell is lost or
+// double-counted. The killed rank itself surfaces ErrKilled.
+func TestDistributedCubeSurvivesWorkerDeath(t *testing.T) {
+	rel := testRel(700, 5, 31)
+	dims := allDims(rel)
+	want := NaiveCube(rel, dims, agg.MinSupport(2))
+
+	for _, n := range []int{2, 4} {
+		pol := mpi.FaultPolicy{
+			Seed:           42,
+			Drop:           0.05,
+			MaxDrops:       2,
+			Delay:          0.2,
+			Dup:            0.1,
+			KillAfterSends: map[int]int{n - 1: 3}, // last rank dies after 3 sends
+		}
+		comms := mpi.ChaosWorld(mpi.NewLocalWorld(n), pol)
+		sink0, rep0, errs := distWorld(t, comms, func(r int, sink *results.Set) (*DistReport, error) {
+			return DistributedCube(comms[r], rel, dims, agg.MinSupport(2), sink,
+				WithLease(200*time.Millisecond))
+		})
+		if errs[0] != nil {
+			t.Fatalf("n=%d: manager failed: %v", n, errs[0])
+		}
+		if !errors.Is(errs[n-1], mpi.ErrKilled) {
+			t.Fatalf("n=%d: killed rank returned %v, want ErrKilled", n, errs[n-1])
+		}
+		if diff := want.Diff(sink0); diff != "" {
+			t.Fatalf("n=%d: cube under faults differs from fault-free naive: %s", n, diff)
+		}
+		if rep0.Total != int64(want.NumCells()) {
+			t.Fatalf("n=%d: total %d, oracle has %d", n, rep0.Total, want.NumCells())
+		}
+		for _, c := range comms {
+			c.Close()
+		}
+	}
+}
+
+// TestDistributedCubeAllWorkersDie: with every worker killed, the manager
+// executes the remaining tasks itself and still completes the exact cube
+// (f = n-1 tolerance).
+func TestDistributedCubeAllWorkersDie(t *testing.T) {
+	rel := testRel(400, 4, 11)
+	dims := allDims(rel)
+	want := NaiveCube(rel, dims, agg.MinSupport(2))
+
+	n := 3
+	pol := mpi.FaultPolicy{
+		Seed:           7,
+		KillAfterSends: map[int]int{1: 1, 2: 2},
+	}
+	comms := mpi.ChaosWorld(mpi.NewLocalWorld(n), pol)
+	sink0, rep0, errs := distWorld(t, comms, func(r int, sink *results.Set) (*DistReport, error) {
+		return DistributedCube(comms[r], rel, dims, agg.MinSupport(2), sink,
+			WithLease(200*time.Millisecond))
+	})
+	if errs[0] != nil {
+		t.Fatalf("manager failed: %v", errs[0])
+	}
+	for r := 1; r < n; r++ {
+		if !errors.Is(errs[r], mpi.ErrKilled) {
+			t.Fatalf("rank %d returned %v, want ErrKilled", r, errs[r])
+		}
+	}
+	if diff := want.Diff(sink0); diff != "" {
+		t.Fatalf("cube with zero surviving workers differs from naive: %s", diff)
+	}
+	if len(rep0.Dead) != 2 {
+		t.Fatalf("manager observed dead ranks %v, want 2 deaths", rep0.Dead)
+	}
+	for _, c := range comms {
+		c.Close()
+	}
+}
+
+// TestDistributedCubeMemBudgetDegrades: a task whose staged cells exceed
+// the memory budget is dropped gracefully — reported as degraded, wrapping
+// hashtree.ErrMemoryExhausted semantics — and the run completes with the
+// remaining tasks' cells only.
+func TestDistributedCubeMemBudgetDegrades(t *testing.T) {
+	rel := testRel(600, 4, 13)
+	dims := allDims(rel)
+	want := NaiveCube(rel, dims, agg.MinSupport(2))
+
+	n := 2
+	comms := mpi.NewLocalWorld(n)
+	// A budget of one cell's worth of bytes fails every subtree task on
+	// the worker; the manager records them degraded and finishes.
+	sink0, rep0, errs := distWorld(t, comms, func(r int, sink *results.Set) (*DistReport, error) {
+		return DistributedCube(comms[r], rel, dims, agg.MinSupport(2), sink,
+			WithLease(300*time.Millisecond), WithMemBudget(64))
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if len(rep0.Degraded) != len(dims) {
+		t.Fatalf("degraded %v, want all %d subtree tasks", rep0.Degraded, len(dims))
+	}
+	// Only the "all" cell (computed by the manager outside the budget)
+	// survives.
+	if sink0.NumCells() >= want.NumCells() {
+		t.Fatalf("degraded run kept %d cells, oracle %d — nothing was dropped", sink0.NumCells(), want.NumCells())
+	}
+	if rep0.Total != int64(sink0.NumCells()) {
+		t.Fatalf("total %d != sink cells %d", rep0.Total, sink0.NumCells())
+	}
+	// The sentinel must be the repo-wide memory-exhaustion error.
+	if !errors.Is(hashtree.ErrMemoryExhausted, hashtree.ErrMemoryExhausted) {
+		t.Fatal("sentinel identity broken")
+	}
+	for _, c := range comms {
+		c.Close()
 	}
 }
 

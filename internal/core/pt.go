@@ -48,10 +48,11 @@ func (s *ptScheduler) Next(w *cluster.Worker) *cluster.Task {
 	defer s.mu.Unlock()
 	if !s.allDone {
 		s.allDone = true
-		return &cluster.Task{Label: "all", Run: func(w *cluster.Worker) {
+		return &cluster.Task{Label: "all", Run: func(w *cluster.Worker) error {
 			st := w.State.(*ptState)
 			ensureReplica(w, &st.loaded, &st.view, s.run)
 			writeAll(s.run.Rel, st.view, s.run.Cond, st.out, &w.Ctr)
+			return nil
 		}}
 	}
 	if s.left == 0 {
@@ -77,7 +78,7 @@ func (s *ptScheduler) Next(w *cluster.Worker) *cluster.Task {
 	t := s.tasks[best]
 	return &cluster.Task{
 		Label: fmt.Sprintf("subtree rooted at %s (%d nodes)", t.Root.Label(s.names), t.Size()),
-		Run:   func(w *cluster.Worker) { ptCompute(s.run, w, t) },
+		Run:   func(w *cluster.Worker) error { ptCompute(s.run, w, t); return nil },
 	}
 }
 
@@ -106,7 +107,7 @@ func PT(run Run) (*Report, error) {
 		return tasks[a].Root < tasks[b].Root
 	})
 	workers := cluster.NewWorkers(run.Cluster, run.Workers, func(w *cluster.Worker) {
-		w.State = &ptState{out: disk.NewWriter(&w.Ctr, run.Sink)}
+		w.State = &ptState{out: disk.NewWriter(&w.Ctr, w.StageTo(run.Sink))}
 	})
 	sched := &ptScheduler{
 		run:   run,
@@ -115,6 +116,6 @@ func PT(run Run) (*Report, error) {
 		left:  len(tasks),
 		names: cubeNames(run),
 	}
-	run.run(workers, sched)
-	return &Report{Algorithm: "PT", Workers: workers, Makespan: cluster.Makespan(workers)}, nil
+	chaos, failures := run.run(workers, sched)
+	return finishReport(&Report{Algorithm: "PT", Workers: workers, Makespan: cluster.Makespan(workers)}, chaos, failures)
 }

@@ -26,33 +26,35 @@ func RP(run Run) (*Report, error) {
 		loaded bool
 	}
 	workers := cluster.NewWorkers(run.Cluster, run.Workers, func(w *cluster.Worker) {
-		w.State = &rpState{out: disk.NewWriter(&w.Ctr, run.Sink)}
+		w.State = &rpState{out: disk.NewWriter(&w.Ctr, w.StageTo(run.Sink))}
 	})
 
 	sched := cluster.NewQueueScheduler(run.Workers)
 	tasks := make([]*cluster.Task, 0, len(dims)+1)
 	tasks = append(tasks, &cluster.Task{
 		Label: "all",
-		Run: func(w *cluster.Worker) {
+		Run: func(w *cluster.Worker) error {
 			s := w.State.(*rpState)
 			ensureReplica(w, &s.loaded, &s.view, run)
 			writeAll(rel, s.view, cond, s.out, &w.Ctr)
+			return nil
 		},
 	})
 	for p := range dims {
 		p := p
 		tasks = append(tasks, &cluster.Task{
 			Label: fmt.Sprintf("subtree T_%s", lattice.MaskOf(p).Label(cubeNames(run))),
-			Run: func(w *cluster.Worker) {
+			Run: func(w *cluster.Worker) error {
 				s := w.State.(*rpState)
 				ensureReplica(w, &s.loaded, &s.view, run)
 				BUCSubtree(rel, s.view, dims, p, cond, s.out, &w.Ctr)
+				return nil
 			},
 		})
 	}
 	sched.AssignRoundRobin(tasks)
-	run.run(workers, sched)
-	return &Report{Algorithm: "RP", Workers: workers, Makespan: cluster.Makespan(workers)}, nil
+	chaos, failures := run.run(workers, sched)
+	return finishReport(&Report{Algorithm: "RP", Workers: workers, Makespan: cluster.Makespan(workers)}, chaos, failures)
 }
 
 // ensureReplica charges the one-time load of the replicated data set and

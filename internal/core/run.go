@@ -9,12 +9,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"icebergcube/internal/agg"
 	"icebergcube/internal/cluster"
 	"icebergcube/internal/cost"
 	"icebergcube/internal/disk"
+	"icebergcube/internal/hashtree"
 	"icebergcube/internal/lattice"
 	"icebergcube/internal/relation"
 )
@@ -58,6 +60,12 @@ type Run struct {
 	// (bit-concatenation) hash, reducing bucket collisions on skewed
 	// data.
 	MixedHash bool
+	// Chaos, when set, runs the computation under the deterministic fault
+	// plan (worker deaths, stragglers, task memory budgets) instead of the
+	// fault-free runners. Task output is committed exactly once, so the
+	// sink still receives the fault-free cube as long as one worker
+	// survives.
+	Chaos *cluster.ChaosPlan
 }
 
 func (r *Run) normalize() error {
@@ -102,6 +110,12 @@ type Report struct {
 	Algorithm string
 	Workers   []*cluster.Worker
 	Makespan  float64
+	// Degraded lists tasks dropped gracefully after exhausting their
+	// memory budget (the cube is missing those tasks' cells but the run
+	// completed); any other task failure aborts the run with an error.
+	Degraded []cluster.TaskFailure
+	// Chaos reports fault-plan activity when Run.Chaos was set.
+	Chaos *cluster.ChaosReport
 }
 
 // Loads returns per-worker virtual clocks (Fig 4.1).
@@ -152,12 +166,29 @@ func (r *Report) NetSeconds() float64 {
 }
 
 // run drives the scheduler with the configured runner.
-func (r *Run) run(workers []*cluster.Worker, sched cluster.Scheduler) {
-	if r.Parallel {
-		cluster.RunParallel(workers, sched)
-	} else {
-		cluster.RunVirtual(workers, sched)
+func (r *Run) run(workers []*cluster.Worker, sched cluster.Scheduler) (*cluster.ChaosReport, []cluster.TaskFailure) {
+	if r.Chaos != nil {
+		return cluster.RunChaos(workers, sched, *r.Chaos)
 	}
+	if r.Parallel {
+		return nil, cluster.RunParallel(workers, sched)
+	}
+	return nil, cluster.RunVirtual(workers, sched)
+}
+
+// finishReport folds a runner's outcome into the report: memory-exhausted
+// tasks become graceful degradation (recorded, run continues), any other
+// task failure is a hard error.
+func finishReport(rep *Report, chaos *cluster.ChaosReport, failures []cluster.TaskFailure) (*Report, error) {
+	rep.Chaos = chaos
+	for _, f := range failures {
+		if errors.Is(f.Err, hashtree.ErrMemoryExhausted) {
+			rep.Degraded = append(rep.Degraded, f)
+			continue
+		}
+		return rep, fmt.Errorf("core: %s task %q on worker %d: %w", rep.Algorithm, f.Label, f.Worker, f.Err)
+	}
+	return rep, nil
 }
 
 // writeAll aggregates the full input and writes the "all" cell (mask 0),

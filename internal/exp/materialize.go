@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"icebergcube/internal/agg"
 	"icebergcube/internal/cluster"
 	"icebergcube/internal/core"
@@ -39,8 +41,8 @@ func PrecomputeLeaf(run core.Run) (*core.Report, error) {
 		part := parts[j]
 		sched.Assign(j, &cluster.Task{
 			Label: "leaf partition",
-			Run: func(w *cluster.Worker) {
-				out := disk.NewWriter(&w.Ctr, run.Sink)
+			Run: func(w *cluster.Worker) error {
+				out := disk.NewWriter(&w.Ctr, w.StageTo(run.Sink))
 				w.Ctr.BytesRead += int64(len(part)) * int64(4*rel.NumDims()+8)
 				list := skiplist.New(run.Seed+int64(w.ID), &w.Ctr)
 				key := make([]uint32, len(dims))
@@ -57,13 +59,18 @@ func PrecomputeLeaf(run core.Run) (*core.Report, error) {
 					}
 					return true
 				})
+				return nil
 			},
 		})
 	}
+	var failures []cluster.TaskFailure
 	if run.Parallel {
-		cluster.RunParallel(workers, sched)
+		failures = cluster.RunParallel(workers, sched)
 	} else {
-		cluster.RunVirtual(workers, sched)
+		failures = cluster.RunVirtual(workers, sched)
+	}
+	for _, f := range failures {
+		return nil, fmt.Errorf("exp: leaf task on worker %d: %w", f.Worker, f.Err)
 	}
 	return &core.Report{Algorithm: "ASL-leaf", Workers: workers, Makespan: cluster.Makespan(workers)}, nil
 }

@@ -1,0 +1,25 @@
+package mpi
+
+import "errors"
+
+// Typed failure modes of the message layer. Every blocking operation on a
+// Comm either completes, or surfaces one of these sentinels (wrapped with
+// context) — no operation hangs forever once its peer is gone or its
+// deadline has passed. Callers branch with errors.Is.
+var (
+	// ErrTimeout: a RecvTimeout deadline (or a timed collective's per-wait
+	// deadline) expired before a matching message arrived.
+	ErrTimeout = errors.New("mpi: receive deadline exceeded")
+
+	// ErrPeerDown: the specific rank this operation needs is known dead —
+	// its TCP connection broke, its in-process endpoint closed, or fault
+	// injection killed it.
+	ErrPeerDown = errors.New("mpi: peer rank is down")
+
+	// ErrClosed: this rank's own communicator was closed.
+	ErrClosed = errors.New("mpi: communicator closed")
+
+	// ErrKilled: fault injection killed this rank; all further operations
+	// on its Comm fail with this error (see fault.go).
+	ErrKilled = errors.New("mpi: rank killed by fault injection")
+)

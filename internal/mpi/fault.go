@@ -1,0 +1,248 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Fault injection: Chaos wraps any Comm with a seeded, per-rank
+// deterministic fault schedule — message drops, delays, duplicates,
+// reorders, and whole-rank kills — so any distributed algorithm can be
+// exercised under a reproducible failure scenario. Which message suffers
+// which fault is a pure function of (policy seed, rank, per-rank send
+// index); only delivery *timing* of delayed/reordered messages depends on
+// the host scheduler, which MPI semantics permit anyway (no cross-rank
+// ordering guarantees).
+
+// FaultPolicy configures a Chaos wrapper. Probabilities are per outgoing
+// message and independent; zero values disable that fault.
+type FaultPolicy struct {
+	// Seed roots the per-rank deterministic schedule.
+	Seed int64
+	// Drop is the probability an outgoing message is silently lost
+	// (the sender still observes success, as a lossy network would give).
+	Drop float64
+	// MaxDrops caps the number of messages this rank may drop (<= 0 means
+	// unlimited). Recovery tests use it to guarantee eventual delivery.
+	MaxDrops int
+	// Dup is the probability a message is delivered twice.
+	Dup float64
+	// Delay is the probability a message is delivered asynchronously after
+	// a random pause in (0, MaxDelay].
+	Delay float64
+	// MaxDelay bounds injected delays (default 2ms).
+	MaxDelay time.Duration
+	// Reorder is the probability a message is held back and delivered
+	// after the *next* message to the same destination (or after MaxDelay,
+	// whichever comes first).
+	Reorder float64
+	// KillAfterSends kills the listed ranks: rank r dies immediately
+	// before performing its (KillAfterSends[r]+1)-th Send. Death closes
+	// the underlying endpoint (peers observe ErrPeerDown) and every later
+	// operation on the rank's own Comm fails with ErrKilled.
+	KillAfterSends map[int]int
+}
+
+// FaultStats counts the faults a Chaos endpoint injected, for tests and
+// reports.
+type FaultStats struct {
+	Sends, Drops, Dups, Delays, Reorders int
+	Killed                               bool
+}
+
+type heldMsg struct {
+	to, tag int
+	payload []byte
+	timer   *time.Timer
+}
+
+type faultComm struct {
+	inner Comm
+	pol   FaultPolicy
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	stats  FaultStats
+	killed bool
+	closed bool
+	held   map[int]*heldMsg // destination → message awaiting reorder flush
+}
+
+// Chaos wraps a Comm with the fault policy. Each rank wraps its own
+// endpoint; the per-rank schedule is seeded with pol.Seed and the rank, so
+// a world rebuilt with the same policy replays the same faults.
+func Chaos(inner Comm, pol FaultPolicy) Comm {
+	if pol.MaxDelay <= 0 {
+		pol.MaxDelay = 2 * time.Millisecond
+	}
+	return &faultComm{
+		inner: inner,
+		pol:   pol,
+		rng:   rand.New(rand.NewSource(pol.Seed*1_000_003 + int64(inner.Rank()))),
+		held:  make(map[int]*heldMsg),
+	}
+}
+
+// ChaosWorld wraps every rank of a world with the same policy.
+func ChaosWorld(comms []Comm, pol FaultPolicy) []Comm {
+	out := make([]Comm, len(comms))
+	for i, c := range comms {
+		out[i] = Chaos(c, pol)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the faults injected so far.
+func (c *faultComm) Stats() FaultStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *faultComm) Rank() int { return c.inner.Rank() }
+func (c *faultComm) Size() int { return c.inner.Size() }
+
+func (c *faultComm) killedErr() error {
+	return fmt.Errorf("mpi: rank %d: %w", c.inner.Rank(), ErrKilled)
+}
+
+// Send implements Comm with fault injection.
+func (c *faultComm) Send(to, tag int, payload []byte) error {
+	c.mu.Lock()
+	if c.killed {
+		c.mu.Unlock()
+		return c.killedErr()
+	}
+	if k, ok := c.pol.KillAfterSends[c.inner.Rank()]; ok && c.stats.Sends >= k {
+		c.killed = true
+		c.stats.Killed = true
+		held := c.takeHeldLocked()
+		c.mu.Unlock()
+		for _, h := range held {
+			h.timer.Stop()
+		}
+		c.inner.Close()
+		return c.killedErr()
+	}
+	c.stats.Sends++
+	// Always draw the same number of variates per message so the schedule
+	// for message k is stable regardless of which faults are enabled.
+	fDrop, fDup, fDelay, fReorder := c.rng.Float64(), c.rng.Float64(), c.rng.Float64(), c.rng.Float64()
+	delay := time.Duration(1 + c.rng.Int63n(int64(c.pol.MaxDelay)))
+
+	if fDrop < c.pol.Drop && (c.pol.MaxDrops <= 0 || c.stats.Drops < c.pol.MaxDrops) {
+		c.stats.Drops++
+		c.mu.Unlock()
+		return nil
+	}
+	dup := fDup < c.pol.Dup
+	if dup {
+		c.stats.Dups++
+	}
+	delayed := fDelay < c.pol.Delay
+	if delayed {
+		c.stats.Delays++
+	}
+
+	// A message already held for this destination is released right after
+	// the current one — the reorder taking effect.
+	var release *heldMsg
+	if h := c.held[to]; h != nil {
+		h.timer.Stop()
+		delete(c.held, to)
+		release = h
+	}
+	if release == nil && fReorder < c.pol.Reorder {
+		c.stats.Reorders++
+		h := &heldMsg{to: to, tag: tag, payload: payload}
+		h.timer = time.AfterFunc(c.pol.MaxDelay, func() { c.flushHeld(to, h) })
+		c.held[to] = h
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+
+	var err error
+	if delayed {
+		go func() {
+			time.Sleep(delay)
+			c.inner.Send(to, tag, payload)
+		}()
+	} else {
+		err = c.inner.Send(to, tag, payload)
+	}
+	if dup {
+		c.inner.Send(to, tag, payload)
+	}
+	if release != nil {
+		c.inner.Send(release.to, release.tag, release.payload)
+	}
+	return err
+}
+
+// flushHeld delivers a reorder-held message whose hold timer expired.
+func (c *faultComm) flushHeld(to int, h *heldMsg) {
+	c.mu.Lock()
+	if c.held[to] != h || c.killed || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.held, to)
+	c.mu.Unlock()
+	c.inner.Send(h.to, h.tag, h.payload)
+}
+
+// takeHeldLocked drains the held map; callers stop the timers.
+func (c *faultComm) takeHeldLocked() []*heldMsg {
+	out := make([]*heldMsg, 0, len(c.held))
+	for to, h := range c.held {
+		out = append(out, h)
+		delete(c.held, to)
+	}
+	return out
+}
+
+// Recv implements Comm.
+func (c *faultComm) Recv(from, tag int) (Message, error) {
+	return c.RecvTimeout(from, tag, 0)
+}
+
+// RecvTimeout implements Comm.
+func (c *faultComm) RecvTimeout(from, tag int, timeout time.Duration) (Message, error) {
+	c.mu.Lock()
+	killed := c.killed
+	c.mu.Unlock()
+	if killed {
+		return Message{}, c.killedErr()
+	}
+	return c.inner.RecvTimeout(from, tag, timeout)
+}
+
+// DeadPeers implements PeerStatus when the inner transport does.
+func (c *faultComm) DeadPeers() []int {
+	if ps, ok := c.inner.(PeerStatus); ok {
+		return ps.DeadPeers()
+	}
+	return nil
+}
+
+// Close implements Comm: held messages are flushed (reorder must not turn
+// into silent loss on shutdown) and the inner endpoint closed once.
+func (c *faultComm) Close() error {
+	c.mu.Lock()
+	if c.closed || c.killed {
+		c.closed = true
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	held := c.takeHeldLocked()
+	c.mu.Unlock()
+	for _, h := range held {
+		h.timer.Stop()
+		c.inner.Send(h.to, h.tag, h.payload)
+	}
+	return c.inner.Close()
+}

@@ -1,0 +1,299 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// statser is the concrete chaos endpoint's stats accessor.
+type statser interface{ Stats() FaultStats }
+
+// world builds one transport's n-rank world (unlike worlds, which builds
+// both and would leak the unused one in per-case subtests).
+func world(t *testing.T, transport string, n int) []Comm {
+	t.Helper()
+	if transport == "local" {
+		return NewLocalWorld(n)
+	}
+	tcp, err := buildTCPWorld(n)
+	if err != nil {
+		tcp, err = buildTCPWorld(n)
+	}
+	if err != nil {
+		t.Fatalf("building TCP world: %v", err)
+	}
+	return tcp
+}
+
+// runRanks executes fn concurrently on the listed ranks and returns each
+// rank's error (indexed by world rank; ranks not listed stay nil).
+func runRanks(comms []Comm, ranks []int, fn func(c Comm) error) []error {
+	errs := make([]error, len(comms))
+	var wg sync.WaitGroup
+	for _, r := range ranks {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(comms[r])
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
+// TestCollectiveDeadRank: every timed collective must surface a dead
+// participant as a typed error (ErrPeerDown on whoever waits on the corpse,
+// ErrTimeout on ranks starved of a follow-up message) instead of hanging —
+// on the in-process transport and on real TCP sockets alike.
+func TestCollectiveDeadRank(t *testing.T) {
+	const timeout = 500 * time.Millisecond
+	cases := []struct {
+		name string
+		dead int   // rank closed before the collective starts
+		must []int // survivors that must observe a typed error
+		call func(c Comm) error
+	}{
+		{"barrier", 2, []int{0, 1}, func(c Comm) error { return BarrierT(c, timeout) }},
+		{"bcast-root-dead", 0, []int{1, 2}, func(c Comm) error { _, err := BcastT(c, []byte("x"), timeout); return err }},
+		{"gather", 2, []int{0}, func(c Comm) error { _, err := GatherT(c, []byte{byte(c.Rank())}, timeout); return err }},
+		{"allreduce", 2, []int{0, 1}, func(c Comm) error { _, err := AllReduceSumT(c, int64(c.Rank()+1), timeout); return err }},
+	}
+	for _, transport := range []string{"local", "tcp"} {
+		for _, tc := range cases {
+			t.Run(transport+"/"+tc.name, func(t *testing.T) {
+				comms := world(t, transport, 3)
+				defer closeAll(comms)
+				if err := comms[tc.dead].Close(); err != nil {
+					t.Fatalf("closing rank %d: %v", tc.dead, err)
+				}
+				var survivors []int
+				for r := range comms {
+					if r != tc.dead {
+						survivors = append(survivors, r)
+					}
+				}
+				errs := runRanks(comms, survivors, tc.call)
+
+				mustFail := make(map[int]bool, len(tc.must))
+				sawPeerDown := false
+				for _, r := range tc.must {
+					mustFail[r] = true
+					err := errs[r]
+					if err == nil {
+						t.Fatalf("rank %d completed the collective with rank %d dead", r, tc.dead)
+					}
+					if !errors.Is(err, ErrPeerDown) && !errors.Is(err, ErrTimeout) {
+						t.Fatalf("rank %d: untyped error %v", r, err)
+					}
+					if errors.Is(err, ErrPeerDown) {
+						sawPeerDown = true
+					}
+				}
+				if !sawPeerDown {
+					t.Fatalf("no survivor attributed the failure to the dead peer: %v", errs)
+				}
+				for _, r := range survivors {
+					if !mustFail[r] && errs[r] != nil {
+						t.Fatalf("rank %d (not waiting on the corpse) failed: %v", r, errs[r])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCollectiveTimeout: a silent (alive but non-participating) rank must
+// bound every collective wait by the deadline, surfacing ErrTimeout.
+func TestCollectiveTimeout(t *testing.T) {
+	const timeout = 100 * time.Millisecond
+	cases := []struct {
+		name   string
+		waiter int // the rank whose wait must expire; the other rank stays silent
+		call   func(c Comm) error
+	}{
+		{"barrier", 0, func(c Comm) error { return BarrierT(c, timeout) }},
+		{"bcast-nonroot", 1, func(c Comm) error { _, err := BcastT(c, nil, timeout); return err }},
+		{"gather", 0, func(c Comm) error { _, err := GatherT(c, nil, timeout); return err }},
+		{"allreduce", 0, func(c Comm) error { _, err := AllReduceSumT(c, 1, timeout); return err }},
+	}
+	for _, transport := range []string{"local", "tcp"} {
+		for _, tc := range cases {
+			t.Run(transport+"/"+tc.name, func(t *testing.T) {
+				comms := world(t, transport, 2)
+				defer closeAll(comms)
+				start := time.Now()
+				err := tc.call(comms[tc.waiter])
+				if !errors.Is(err, ErrTimeout) {
+					t.Fatalf("rank %d got %v, want ErrTimeout", tc.waiter, err)
+				}
+				if e := time.Since(start); e > 10*timeout {
+					t.Fatalf("deadline of %v took %v to fire", timeout, e)
+				}
+			})
+		}
+	}
+}
+
+// TestTCPPeerDeathWakesBlockedRecv regression-tests the silent-loss bug: a
+// Recv already blocked on a peer whose process dies must fail with
+// ErrPeerDown (not hang), and the broken link must surface from Close.
+func TestTCPPeerDeathWakesBlockedRecv(t *testing.T) {
+	comms, err := buildTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type recvResult struct {
+		m   Message
+		err error
+	}
+	done := make(chan recvResult, 1)
+	go func() {
+		m, err := comms[0].Recv(1, 42) // no timeout: only death may end this wait
+		done <- recvResult{m, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the Recv block
+	comms[1].Close()                  // rank 1 "crashes"
+
+	select {
+	case res := <-done:
+		if !errors.Is(res.err, ErrPeerDown) {
+			t.Fatalf("blocked recv returned %v, want ErrPeerDown", res.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv still blocked 5s after peer death — the silent-loss hang")
+	}
+	if err := comms[0].Close(); err == nil {
+		t.Fatal("Close swallowed the broken-link read error")
+	}
+}
+
+// TestTCPDeadPeerSendFails: once a peer is known dead, sends to it fail
+// fast with ErrPeerDown instead of writing into a void.
+func TestTCPDeadPeerSendFails(t *testing.T) {
+	comms, err := buildTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comms[0].Close()
+	comms[1].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := comms[0].Send(1, 7, []byte("hello?")); err != nil {
+			if !errors.Is(err, ErrPeerDown) {
+				t.Fatalf("send to dead rank failed with %v, want ErrPeerDown", err)
+			}
+			return
+		}
+		// The first write may still land in the kernel buffer before the
+		// reader observes EOF; death must be detected promptly after.
+		if time.Now().After(deadline) {
+			t.Fatal("sends to a dead peer kept succeeding for 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosDeterministicSchedule: the fault schedule is a pure function of
+// (seed, rank, send index) — two worlds with the same policy inject byte-
+// for-byte identical fault counts.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	pol := FaultPolicy{
+		Seed:     99,
+		Drop:     0.2,
+		Dup:      0.2,
+		Delay:    0.2,
+		Reorder:  0.2,
+		MaxDelay: time.Millisecond,
+	}
+	run := func() FaultStats {
+		comms := ChaosWorld(NewLocalWorld(2), pol)
+		for i := 0; i < 200; i++ {
+			if err := comms[0].Send(1, 3, []byte{byte(i)}); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+		}
+		st := comms[0].(statser).Stats()
+		closeAll(comms)
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different fault schedules:\n  %+v\n  %+v", a, b)
+	}
+	if a.Sends != 200 {
+		t.Fatalf("counted %d sends, want 200", a.Sends)
+	}
+	if a.Drops == 0 || a.Dups == 0 || a.Delays == 0 || a.Reorders == 0 {
+		t.Fatalf("a 20%% policy over 200 sends injected nothing: %+v", a)
+	}
+}
+
+// TestChaosMaxDropsCap: MaxDrops bounds the injected losses so recovery
+// tests can rely on eventual delivery.
+func TestChaosMaxDropsCap(t *testing.T) {
+	pol := FaultPolicy{Seed: 5, Drop: 1.0, MaxDrops: 3}
+	comms := ChaosWorld(NewLocalWorld(2), pol)
+	defer closeAll(comms)
+	for i := 0; i < 50; i++ {
+		if err := comms[0].Send(1, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := comms[0].(statser).Stats()
+	if st.Drops != 3 {
+		t.Fatalf("dropped %d messages, cap is 3", st.Drops)
+	}
+	// 47 of 50 must have arrived.
+	for i := 0; i < 47; i++ {
+		if _, err := comms[1].RecvTimeout(0, 1, time.Second); err != nil {
+			t.Fatalf("delivery %d missing after drop cap: %v", i, err)
+		}
+	}
+}
+
+// TestChaosKillSemantics: a rank killed after its send quota fails every
+// later operation with ErrKilled, and the rest of the world observes it
+// dead (ErrPeerDown after draining what it had already sent).
+func TestChaosKillSemantics(t *testing.T) {
+	pol := FaultPolicy{Seed: 1, KillAfterSends: map[int]int{1: 2}}
+	comms := ChaosWorld(NewLocalWorld(2), pol)
+	defer closeAll(comms)
+
+	for i := 0; i < 2; i++ {
+		if err := comms[1].Send(0, 4, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatalf("send %d before quota: %v", i, err)
+		}
+	}
+	if err := comms[1].Send(0, 4, []byte("m2")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("send over quota returned %v, want ErrKilled", err)
+	}
+	if _, err := comms[1].Recv(0, 4); !errors.Is(err, ErrKilled) {
+		t.Fatalf("recv after death returned %v, want ErrKilled", err)
+	}
+	if !comms[1].(statser).Stats().Killed {
+		t.Fatal("killed rank's stats do not record the kill")
+	}
+
+	// The survivor drains the two pre-death messages, then sees the death.
+	for i := 0; i < 2; i++ {
+		m, err := comms[0].RecvTimeout(1, 4, time.Second)
+		if err != nil || string(m.Payload) != fmt.Sprintf("m%d", i) {
+			t.Fatalf("pre-death message %d: %v %q", i, err, m.Payload)
+		}
+	}
+	if _, err := comms[0].RecvTimeout(1, 4, time.Second); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("recv from killed rank returned %v, want ErrPeerDown", err)
+	}
+	found := false
+	for _, r := range comms[0].(PeerStatus).DeadPeers() {
+		if r == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DeadPeers %v does not list the killed rank", comms[0].(PeerStatus).DeadPeers())
+	}
+}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // localWorld is the in-process transport: one buffered mailbox per rank,
@@ -12,17 +13,110 @@ type localWorld struct {
 	boxes []*mailbox
 }
 
+// mailbox is the shared receive queue implementation used by both the
+// in-process and TCP transports. Beyond buffering, it tracks which peers
+// are known dead so that a blocked Recv fails with ErrPeerDown instead of
+// waiting forever for a message that can no longer arrive.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []Message
 	closed bool
+	dead   map[int]error // peer rank → why it is considered dead
 }
 
 func newMailbox() *mailbox {
-	b := &mailbox{}
+	b := &mailbox{dead: make(map[int]error)}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+// push enqueues a delivered message and wakes blocked receivers.
+func (b *mailbox) push(m Message) {
+	b.mu.Lock()
+	b.queue = append(b.queue, m)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// markDead records that a peer can send no further messages and wakes
+// blocked receivers so they can fail instead of waiting.
+func (b *mailbox) markDead(rank int, cause error) {
+	b.mu.Lock()
+	if _, ok := b.dead[rank]; !ok {
+		b.dead[rank] = cause
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// deadErr returns the recorded death cause for rank, if any.
+func (b *mailbox) deadErr(rank int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dead[rank]
+}
+
+// deadPeers lists the ranks known dead.
+func (b *mailbox) deadPeers() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]int, 0, len(b.dead))
+	for r := range b.dead {
+		out = append(out, r)
+	}
+	return out
+}
+
+// close marks the mailbox closed and wakes every waiter.
+func (b *mailbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// recv blocks for the first queued message matching (from, tag). It
+// returns early with a typed error when the mailbox closes, the awaited
+// peer is dead with nothing buffered from it, or the timeout (if > 0)
+// expires. Already-buffered messages from a now-dead peer are still
+// delivered — death only fails waits that can never be satisfied.
+func (b *mailbox) recv(self, size, from, tag int, timeout time.Duration) (Message, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		timer := time.AfterFunc(timeout, func() {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	for {
+		for i, m := range b.queue {
+			if m.Tag == tag && (from == AnySource || m.From == from) {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if b.closed {
+			return Message{}, fmt.Errorf("mpi: recv on closed rank %d: %w", self, ErrClosed)
+		}
+		if from != AnySource {
+			if cause, ok := b.dead[from]; ok {
+				return Message{}, fmt.Errorf("mpi: recv from rank %d: %w (%v)", from, ErrPeerDown, cause)
+			}
+		} else if size > 1 && len(b.dead) >= size-1 {
+			return Message{}, fmt.Errorf("mpi: recv on rank %d: every peer is down: %w", self, ErrPeerDown)
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return Message{}, fmt.Errorf("mpi: recv (from %d, tag %d) on rank %d after %v: %w", from, tag, self, timeout, ErrTimeout)
+		}
+		b.cond.Wait()
+	}
 }
 
 // localComm is one rank's endpoint.
@@ -61,7 +155,7 @@ func (c *localComm) Send(to, tag int, payload []byte) error {
 	box.mu.Lock()
 	defer box.mu.Unlock()
 	if box.closed {
-		return fmt.Errorf("mpi: send to closed rank %d", to)
+		return fmt.Errorf("mpi: send from rank %d to closed rank %d: %w", c.rank, to, ErrPeerDown)
 	}
 	box.queue = append(box.queue, Message{From: c.rank, Tag: tag, Payload: payload})
 	box.cond.Broadcast()
@@ -71,29 +165,30 @@ func (c *localComm) Send(to, tag int, payload []byte) error {
 // Recv implements Comm: blocks for the first queued message matching
 // (from, tag), preserving per-sender order.
 func (c *localComm) Recv(from, tag int) (Message, error) {
-	box := c.world.boxes[c.rank]
-	box.mu.Lock()
-	defer box.mu.Unlock()
-	for {
-		for i, m := range box.queue {
-			if m.Tag == tag && (from == AnySource || m.From == from) {
-				box.queue = append(box.queue[:i], box.queue[i+1:]...)
-				return m, nil
-			}
-		}
-		if box.closed {
-			return Message{}, fmt.Errorf("mpi: recv on closed rank %d", c.rank)
-		}
-		box.cond.Wait()
-	}
+	return c.world.boxes[c.rank].recv(c.rank, c.world.size, from, tag, 0)
 }
 
-// Close implements Comm.
+// RecvTimeout implements Comm: like Recv, but fails with ErrTimeout once
+// timeout elapses (timeout <= 0 waits forever).
+func (c *localComm) RecvTimeout(from, tag int, timeout time.Duration) (Message, error) {
+	return c.world.boxes[c.rank].recv(c.rank, c.world.size, from, tag, timeout)
+}
+
+// DeadPeers implements PeerStatus.
+func (c *localComm) DeadPeers() []int {
+	return c.world.boxes[c.rank].deadPeers()
+}
+
+// Close implements Comm. Closing a rank is its death as far as the rest of
+// the world is concerned: every other rank's blocked receives from it fail
+// with ErrPeerDown, exactly as a crashed cluster node would look.
 func (c *localComm) Close() error {
-	box := c.world.boxes[c.rank]
-	box.mu.Lock()
-	box.closed = true
-	box.cond.Broadcast()
-	box.mu.Unlock()
+	c.world.boxes[c.rank].close()
+	cause := fmt.Errorf("rank %d closed its communicator", c.rank)
+	for r, box := range c.world.boxes {
+		if r != c.rank {
+			box.markDead(c.rank, cause)
+		}
+	}
 	return nil
 }

@@ -7,12 +7,21 @@
 // Two transports implement the same Comm interface: an in-process
 // channel-based world (the default for the simulated cluster and tests)
 // and a TCP mesh (package tcp.go) that runs the identical algorithm code
-// across real sockets — or real machines.
+// across real sockets — or real machines. A third, Chaos (fault.go), wraps
+// either transport with seeded fault injection for robustness testing.
+//
+// The layer is failure-aware: transports detect dead peers (broken TCP
+// connections, closed endpoints, fault-injected kills) and fail blocked
+// receives with ErrPeerDown instead of hanging; RecvTimeout bounds any
+// wait; and each collective has a timed variant that propagates a typed
+// error when a participant is gone, so one dead rank cannot deadlock the
+// world.
 package mpi
 
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 )
 
 // AnySource matches a message from any rank in Recv.
@@ -31,13 +40,27 @@ type Comm interface {
 	Rank() int
 	Size() int
 	// Send delivers payload to rank `to` under a tag. It must not block
-	// indefinitely on un-received messages (transports buffer).
+	// indefinitely on un-received messages (transports buffer), and it
+	// fails with ErrPeerDown when the destination is known dead.
 	Send(to, tag int, payload []byte) error
 	// Recv blocks for the next message from rank `from` (or AnySource)
-	// with the given tag.
+	// with the given tag. It fails with ErrPeerDown when the awaited rank
+	// is dead and nothing from it is buffered.
 	Recv(from, tag int) (Message, error)
-	// Close releases the endpoint.
+	// RecvTimeout is Recv with a deadline: it fails with ErrTimeout once
+	// timeout elapses. timeout <= 0 waits forever, like Recv.
+	RecvTimeout(from, tag int, timeout time.Duration) (Message, error)
+	// Close releases the endpoint. The rest of the world observes a closed
+	// rank as dead.
 	Close() error
+}
+
+// PeerStatus is implemented by transports that detect rank death (all the
+// built-in ones do). Schedulers use it to react to failures faster than a
+// lease expiry would.
+type PeerStatus interface {
+	// DeadPeers lists the ranks this endpoint knows to be dead.
+	DeadPeers() []int
 }
 
 // Reserved collective tags live high above user tags.
@@ -49,20 +72,25 @@ const (
 )
 
 // Barrier blocks until every rank has entered it (central coordinator at
-// rank 0, as the paper's manager process does).
-func Barrier(c Comm) error {
+// rank 0, as the paper's manager process does). A dead rank surfaces as
+// ErrPeerDown on every survivor instead of a hang.
+func Barrier(c Comm) error { return BarrierT(c, 0) }
+
+// BarrierT is Barrier with a per-wait deadline: no single receive blocks
+// longer than timeout (0 = forever).
+func BarrierT(c Comm, timeout time.Duration) error {
 	if c.Size() == 1 {
 		return nil
 	}
 	if c.Rank() == 0 {
 		for i := 1; i < c.Size(); i++ {
-			if _, err := c.Recv(AnySource, tagBarrier); err != nil {
-				return fmt.Errorf("mpi: barrier collect: %w", err)
+			if _, err := c.RecvTimeout(i, tagBarrier, timeout); err != nil {
+				return fmt.Errorf("mpi: barrier collecting rank %d: %w", i, err)
 			}
 		}
 		for i := 1; i < c.Size(); i++ {
 			if err := c.Send(i, tagBarrier, nil); err != nil {
-				return fmt.Errorf("mpi: barrier release: %w", err)
+				return fmt.Errorf("mpi: barrier release to rank %d: %w", i, err)
 			}
 		}
 		return nil
@@ -70,22 +98,25 @@ func Barrier(c Comm) error {
 	if err := c.Send(0, tagBarrier, nil); err != nil {
 		return err
 	}
-	_, err := c.Recv(0, tagBarrier)
+	_, err := c.RecvTimeout(0, tagBarrier, timeout)
 	return err
 }
 
 // Bcast sends rank 0's payload to every rank; non-root ranks receive and
 // return it.
-func Bcast(c Comm, payload []byte) ([]byte, error) {
+func Bcast(c Comm, payload []byte) ([]byte, error) { return BcastT(c, payload, 0) }
+
+// BcastT is Bcast with a per-wait deadline.
+func BcastT(c Comm, payload []byte, timeout time.Duration) ([]byte, error) {
 	if c.Rank() == 0 {
 		for i := 1; i < c.Size(); i++ {
 			if err := c.Send(i, tagBcast, payload); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("mpi: bcast to rank %d: %w", i, err)
 			}
 		}
 		return payload, nil
 	}
-	m, err := c.Recv(0, tagBcast)
+	m, err := c.RecvTimeout(0, tagBcast, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -94,39 +125,45 @@ func Bcast(c Comm, payload []byte) ([]byte, error) {
 
 // Gather collects every rank's payload at rank 0, indexed by rank; other
 // ranks get nil.
-func Gather(c Comm, payload []byte) ([][]byte, error) {
+func Gather(c Comm, payload []byte) ([][]byte, error) { return GatherT(c, payload, 0) }
+
+// GatherT is Gather with a per-wait deadline.
+func GatherT(c Comm, payload []byte, timeout time.Duration) ([][]byte, error) {
 	if c.Rank() != 0 {
 		return nil, c.Send(0, tagGather, payload)
 	}
 	out := make([][]byte, c.Size())
 	out[0] = payload
 	for i := 1; i < c.Size(); i++ {
-		m, err := c.Recv(AnySource, tagGather)
+		m, err := c.RecvTimeout(i, tagGather, timeout)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mpi: gather from rank %d: %w", i, err)
 		}
-		out[m.From] = m.Payload
+		out[i] = m.Payload
 	}
 	return out, nil
 }
 
 // AllReduceSum sums one int64 per rank and returns the total on every rank.
-func AllReduceSum(c Comm, v int64) (int64, error) {
+func AllReduceSum(c Comm, v int64) (int64, error) { return AllReduceSumT(c, v, 0) }
+
+// AllReduceSumT is AllReduceSum with a per-wait deadline.
+func AllReduceSumT(c Comm, v int64, timeout time.Duration) (int64, error) {
 	buf := make([]byte, 8)
 	binary.LittleEndian.PutUint64(buf, uint64(v))
 	if c.Rank() == 0 {
 		total := v
 		for i := 1; i < c.Size(); i++ {
-			m, err := c.Recv(AnySource, tagReduce)
+			m, err := c.RecvTimeout(i, tagReduce, timeout)
 			if err != nil {
-				return 0, err
+				return 0, fmt.Errorf("mpi: all-reduce from rank %d: %w", i, err)
 			}
 			total += int64(binary.LittleEndian.Uint64(m.Payload))
 		}
 		binary.LittleEndian.PutUint64(buf, uint64(total))
 		for i := 1; i < c.Size(); i++ {
 			if err := c.Send(i, tagReduce, buf); err != nil {
-				return 0, err
+				return 0, fmt.Errorf("mpi: all-reduce to rank %d: %w", i, err)
 			}
 		}
 		return total, nil
@@ -134,7 +171,7 @@ func AllReduceSum(c Comm, v int64) (int64, error) {
 	if err := c.Send(0, tagReduce, buf); err != nil {
 		return 0, err
 	}
-	m, err := c.Recv(0, tagReduce)
+	m, err := c.RecvTimeout(0, tagReduce, timeout)
 	if err != nil {
 		return 0, err
 	}

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -16,15 +17,25 @@ import (
 // Rank i accepts connections from ranks > i and dials ranks < i, which
 // yields exactly one duplex connection per pair without a rendezvous
 // service — the way small MPI launchers wire clusters.
+//
+// Failure model: each peer connection has a dedicated reader goroutine; a
+// read failure (peer process died, network partition) marks that peer dead
+// in the mailbox, failing any Recv that can only be satisfied by it.
+// Writes to different peers proceed in parallel (one mutex per
+// connection); a failed write likewise marks the peer dead.
 
 type tcpComm struct {
 	rank  int
 	addrs []string
-	conns []net.Conn // conns[r] = link to rank r (nil for self)
+	conns []net.Conn   // conns[r] = link to rank r (nil for self)
+	wmu   []sync.Mutex // wmu[r] serializes frame writes to rank r only
 	box   *mailbox
 	wg    sync.WaitGroup
-	mu    sync.Mutex // serializes writes per connection set
 	ln    net.Listener
+
+	mu       sync.Mutex
+	closing  bool
+	readErrs []error // reader failures observed before Close began
 }
 
 // NewTCPWorld joins rank `rank` of a world whose rank addresses are addrs
@@ -36,7 +47,13 @@ func NewTCPWorld(rank int, addrs []string, timeout time.Duration) (Comm, error) 
 	if rank < 0 || rank >= n {
 		return nil, fmt.Errorf("mpi: rank %d outside world of %d", rank, n)
 	}
-	c := &tcpComm{rank: rank, addrs: addrs, conns: make([]net.Conn, n), box: newMailbox()}
+	c := &tcpComm{
+		rank:  rank,
+		addrs: addrs,
+		conns: make([]net.Conn, n),
+		wmu:   make([]sync.Mutex, n),
+		box:   newMailbox(),
+	}
 	deadline := time.Now().Add(timeout)
 
 	ln, err := net.Listen("tcp", addrs[rank])
@@ -116,7 +133,8 @@ func (c *tcpComm) reader(peer int, conn net.Conn) {
 	var hdr [12]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return // connection closed
+			c.peerLost(peer, err)
+			return
 		}
 		from := int(int32(binary.LittleEndian.Uint32(hdr[0:])))
 		tag := int(int32(binary.LittleEndian.Uint32(hdr[4:])))
@@ -125,13 +143,27 @@ func (c *tcpComm) reader(peer int, conn net.Conn) {
 		if size > 0 {
 			payload = make([]byte, size)
 			if _, err := io.ReadFull(conn, payload); err != nil {
+				c.peerLost(peer, err)
 				return
 			}
 		}
-		c.box.mu.Lock()
-		c.box.queue = append(c.box.queue, Message{From: from, Tag: tag, Payload: payload})
-		c.box.cond.Broadcast()
-		c.box.mu.Unlock()
+		c.box.push(Message{From: from, Tag: tag, Payload: payload})
+	}
+}
+
+// peerLost handles a broken connection: unless this endpoint is shutting
+// down (in which case read errors are expected), it marks the peer dead —
+// waking any Recv blocked on it — and records the error for Close to
+// surface.
+func (c *tcpComm) peerLost(peer int, err error) {
+	c.mu.Lock()
+	closing := c.closing
+	if !closing {
+		c.readErrs = append(c.readErrs, fmt.Errorf("mpi: rank %d link to rank %d broken: %w", c.rank, peer, err))
+	}
+	c.mu.Unlock()
+	if !closing {
+		c.box.markDead(peer, err)
 	}
 }
 
@@ -144,50 +176,52 @@ func (c *tcpComm) Size() int { return len(c.addrs) }
 // Send implements Comm.
 func (c *tcpComm) Send(to, tag int, payload []byte) error {
 	if to == c.rank {
-		c.box.mu.Lock()
-		c.box.queue = append(c.box.queue, Message{From: c.rank, Tag: tag, Payload: payload})
-		c.box.cond.Broadcast()
-		c.box.mu.Unlock()
+		c.box.push(Message{From: c.rank, Tag: tag, Payload: payload})
 		return nil
 	}
 	if to < 0 || to >= len(c.conns) || c.conns[to] == nil {
 		return fmt.Errorf("mpi: no link from rank %d to rank %d", c.rank, to)
+	}
+	if cause := c.box.deadErr(to); cause != nil {
+		return fmt.Errorf("mpi: send from rank %d to rank %d: %w (%v)", c.rank, to, ErrPeerDown, cause)
 	}
 	frame := make([]byte, 12+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:], uint32(c.rank))
 	binary.LittleEndian.PutUint32(frame[4:], uint32(tag))
 	binary.LittleEndian.PutUint32(frame[8:], uint32(len(payload)))
 	copy(frame[12:], payload)
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.wmu[to].Lock()
 	_, err := c.conns[to].Write(frame)
-	return err
+	c.wmu[to].Unlock()
+	if err != nil {
+		c.peerLost(to, err)
+		return fmt.Errorf("mpi: send from rank %d to rank %d: %w (%v)", c.rank, to, ErrPeerDown, err)
+	}
+	return nil
 }
 
 // Recv implements Comm.
 func (c *tcpComm) Recv(from, tag int) (Message, error) {
-	c.box.mu.Lock()
-	defer c.box.mu.Unlock()
-	for {
-		for i, m := range c.box.queue {
-			if m.Tag == tag && (from == AnySource || m.From == from) {
-				c.box.queue = append(c.box.queue[:i], c.box.queue[i+1:]...)
-				return m, nil
-			}
-		}
-		if c.box.closed {
-			return Message{}, fmt.Errorf("mpi: recv on closed rank %d", c.rank)
-		}
-		c.box.cond.Wait()
-	}
+	return c.box.recv(c.rank, len(c.addrs), from, tag, 0)
 }
 
-// Close implements Comm.
+// RecvTimeout implements Comm.
+func (c *tcpComm) RecvTimeout(from, tag int, timeout time.Duration) (Message, error) {
+	return c.box.recv(c.rank, len(c.addrs), from, tag, timeout)
+}
+
+// DeadPeers implements PeerStatus.
+func (c *tcpComm) DeadPeers() []int { return c.box.deadPeers() }
+
+// Close implements Comm. It returns any connection errors the readers
+// observed while the world was still supposed to be up (a silent-loss
+// symptom before this layer existed); errors caused by the shutdown itself
+// are suppressed.
 func (c *tcpComm) Close() error {
-	c.box.mu.Lock()
-	c.box.closed = true
-	c.box.cond.Broadcast()
-	c.box.mu.Unlock()
+	c.mu.Lock()
+	c.closing = true
+	c.mu.Unlock()
+	c.box.close()
 	for _, conn := range c.conns {
 		if conn != nil {
 			conn.Close()
@@ -197,5 +231,7 @@ func (c *tcpComm) Close() error {
 		c.ln.Close()
 	}
 	c.wg.Wait()
-	return nil
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return errors.Join(c.readErrs...)
 }

@@ -2,9 +2,12 @@ package online
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"time"
 
 	"icebergcube/internal/agg"
 	"icebergcube/internal/lattice"
@@ -40,18 +43,23 @@ func DistributedRun(comm mpi.Comm, q Query) (*Result, error) {
 	if q.BufferTuples <= 0 {
 		q.BufferTuples = 8000
 	}
+	if q.StepTimeout <= 0 {
+		q.StepTimeout = 10 * time.Second
+	}
 	n := comm.Size()
 	rank := comm.Rank()
 	rel := q.Rel
 
 	const tagChunk = 101
 
-	// Rank 0 samples the boundaries and broadcasts them.
+	// Rank 0 samples the boundaries and broadcasts them. Every blocking
+	// wait below carries the step timeout: a dead or partitioned rank
+	// surfaces as ErrPeerDown/ErrTimeout instead of hanging the world.
 	var boundaries [][]uint32
 	if rank == 0 {
 		boundaries = sampleBoundaries(rel, q.Dims, n, 1024)
 	}
-	bbuf, err := mpi.Bcast(comm, encodeBoundaries(boundaries, len(q.Dims)))
+	bbuf, err := mpi.BcastT(comm, encodeBoundaries(boundaries, len(q.Dims)), q.StepTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("online: broadcasting boundaries: %w", err)
 	}
@@ -103,7 +111,7 @@ func DistributedRun(comm mpi.Comm, q Query) (*Result, error) {
 		// Receive one chunk from every rank and fold it into the local
 		// skip-list partition.
 		for from := 0; from < n; from++ {
-			m, err := comm.Recv(mpi.AnySource, tagChunk)
+			m, err := comm.RecvTimeout(mpi.AnySource, tagChunk, q.StepTimeout)
 			if err != nil {
 				return nil, fmt.Errorf("online: step %d receiving: %w", step, err)
 			}
@@ -111,7 +119,7 @@ func DistributedRun(comm mpi.Comm, q Query) (*Result, error) {
 				return nil, err
 			}
 		}
-		if err := mpi.Barrier(comm); err != nil {
+		if err := mpi.BarrierT(comm, q.StepTimeout); err != nil {
 			return nil, fmt.Errorf("online: step %d barrier: %w", step, err)
 		}
 		if q.Progress != nil && rank == 0 {
@@ -135,7 +143,7 @@ func DistributedRun(comm mpi.Comm, q Query) (*Result, error) {
 		}
 		return true
 	})
-	parts, err := mpi.Gather(comm, localCells.Encode())
+	parts, err := mpi.GatherT(comm, localCells.Encode(), q.StepTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("online: gathering results: %w", err)
 	}
@@ -222,4 +230,67 @@ func boundariesSorted(bounds [][]uint32) bool {
 	return sort.SliceIsSorted(bounds, func(a, b int) bool {
 		return compareKeys(bounds[a], bounds[b]) < 0
 	})
+}
+
+// RunWithRecovery executes the distributed POL query with fail-fast
+// recovery. POL's step-synchronous exchange cannot mask a rank death
+// mid-run — every rank owns a partition of the result skip list, so losing
+// one loses answer state — which makes the recovery unit the whole query:
+// any rank failing with a typed fault (peer down, timeout, killed) tears
+// the world down, spawn is called for a fresh (typically smaller) world,
+// and the query restarts from its local partitions. spawn receives the
+// 0-based attempt number; attempts bounds the total tries.
+//
+// Every rank of each world runs in its own goroutine here, mirroring one
+// process per node; rank 0's result is returned with Attempts set.
+func RunWithRecovery(spawn func(attempt int) ([]mpi.Comm, error), q Query, attempts int) (*Result, error) {
+	if attempts <= 0 {
+		attempts = 2
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		comms, err := spawn(attempt)
+		if err != nil {
+			return nil, fmt.Errorf("online: spawning world for attempt %d: %w", attempt, err)
+		}
+		n := len(comms)
+		ress := make([]*Result, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				ress[r], errs[r] = DistributedRun(comms[r], q)
+			}(r)
+		}
+		wg.Wait()
+		for _, c := range comms {
+			c.Close()
+		}
+		failed := false
+		for r := 0; r < n; r++ {
+			if errs[r] == nil {
+				continue
+			}
+			failed = true
+			if !recoverableFault(errs[r]) {
+				return nil, fmt.Errorf("online: attempt %d rank %d: %w", attempt+1, r, errs[r])
+			}
+			lastErr = errs[r]
+		}
+		if !failed {
+			res := ress[0]
+			res.Attempts = attempt + 1
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("online: POL failed after %d attempts: %w", attempts, lastErr)
+}
+
+// recoverableFault reports whether an error is a cluster fault a fresh
+// world can recover from, as opposed to a query error that would recur.
+func recoverableFault(err error) bool {
+	return errors.Is(err, mpi.ErrPeerDown) || errors.Is(err, mpi.ErrTimeout) ||
+		errors.Is(err, mpi.ErrKilled) || errors.Is(err, mpi.ErrClosed)
 }

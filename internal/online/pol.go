@@ -20,6 +20,7 @@ package online
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"icebergcube/internal/agg"
 	"icebergcube/internal/cluster"
@@ -52,6 +53,10 @@ type Query struct {
 	// Progress, if set, receives a snapshot after every step — the
 	// periodic timer responses of §5.3.2.
 	Progress func(Snapshot)
+	// StepTimeout bounds every blocking receive and collective in
+	// DistributedRun, so a dead rank surfaces as a typed error within one
+	// step instead of hanging the world. <= 0 defaults to 10s.
+	StepTimeout time.Duration
 }
 
 // Snapshot is one progressive answer.
@@ -82,6 +87,9 @@ type Result struct {
 	Makespan float64
 	Steps    int
 	Workers  []*cluster.Worker
+	// Attempts is how many world incarnations RunWithRecovery needed
+	// (1 for a clean first run; plain runs leave it 0).
+	Attempts int
 }
 
 // polWorker is one processor's state.

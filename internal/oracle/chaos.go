@@ -1,0 +1,44 @@
+package oracle
+
+import (
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cluster"
+	"icebergcube/internal/core"
+)
+
+// CheckAllChaos is the fault-tolerance counterpart of CheckAll: it runs
+// every *cluster* algorithm (RP, BPP, ASL, PT, AHT) under the deterministic
+// fault plan — worker deaths, stragglers, lease-expiry speculation — and
+// diffs each faulty run's cells against the fault-free NaiveCube ground
+// truth. Because task output commits exactly once and dead workers' tasks
+// are reassigned, the cube under faults must be byte-identical to the
+// fault-free cube as long as one worker survives; any lost or
+// double-counted cell surfaces as a Mismatch.
+//
+// The sequential hash-tree algorithm is skipped (there is no cluster to
+// injure). Plans with a TaskMemBudget are out of scope here: budget
+// exhaustion *legitimately* drops cells (graceful degradation), which this
+// equality oracle would misreport as corruption.
+func CheckAllChaos(run core.Run, plan cluster.ChaosPlan) []Mismatch {
+	cond := run.Cond
+	if cond == nil {
+		cond = agg.MinSupport(1)
+	}
+	want := core.NaiveCube(run.Rel, run.Dims, cond)
+	run.Chaos = &plan
+	var out []Mismatch
+	for _, a := range Algorithms() {
+		if a.CountOnly {
+			continue // the sequential hash-tree algorithm: no workers to kill
+		}
+		got, err := RunSet(a, run)
+		if err != nil {
+			out = append(out, Mismatch{Algo: a.Name, Diff: "execution error under faults: " + err.Error(), Run: scrub(run)})
+			continue
+		}
+		if diff := want.Diff(got); diff != "" {
+			out = append(out, Mismatch{Algo: a.Name, Diff: diff, Run: scrub(run)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"icebergcube/internal/cluster"
+	"icebergcube/internal/core"
+)
+
+// TestChaosDifferentialAllAlgorithms is the fault-tolerance acceptance
+// gate: every cluster algorithm, run under fixed fault plans combining a
+// worker death, a straggler, and lease-expiry speculation, must produce a
+// cube identical to the fault-free naive cube — reassignment loses nothing,
+// exactly-once commit double-counts nothing.
+func TestChaosDifferentialAllAlgorithms(t *testing.T) {
+	plans := []struct {
+		name string
+		plan cluster.ChaosPlan
+	}{
+		{"kill-one", cluster.ChaosPlan{
+			KillAfterTasks: map[int]int{1: 1},
+		}},
+		{"kill-two", cluster.ChaosPlan{
+			KillAfterTasks: map[int]int{1: 0, 3: 2},
+		}},
+		{"straggler-lease", cluster.ChaosPlan{
+			SlowFactor:   map[int]float64{2: 40},
+			LeaseSeconds: 0.05,
+		}},
+		{"kill-and-straggle", cluster.ChaosPlan{
+			KillAfterTasks: map[int]int{3: 1},
+			SlowFactor:     map[int]float64{0: 25},
+			LeaseSeconds:   0.05,
+		}},
+	}
+	grid := []struct {
+		tuples, dims int
+		minsup       int64
+	}{
+		{300, 4, 2},
+		{500, 5, 2},
+	}
+	const workers = 4
+	for _, g := range grid {
+		for _, p := range plans {
+			t.Run(fmt.Sprintf("t%d_d%d/%s", g.tuples, g.dims, p.name), func(t *testing.T) {
+				run := testRun(g.tuples, g.dims, g.minsup, workers, int64(g.tuples)+7)
+				for _, m := range CheckAllChaos(run, p.plan) {
+					t.Errorf("%s", Report(&m))
+				}
+			})
+		}
+	}
+}
+
+// TestChaosDifferentialReportsActivity: the fault plan actually fired — a
+// differential suite that silently injects nothing proves nothing.
+func TestChaosDifferentialReportsActivity(t *testing.T) {
+	run := testRun(400, 4, 2, 4, 99)
+	run.Chaos = &cluster.ChaosPlan{
+		KillAfterTasks: map[int]int{1: 1},
+		SlowFactor:     map[int]float64{2: 40},
+		LeaseSeconds:   0.05,
+	}
+	rep, err := core.PT(run)
+	if err != nil {
+		t.Fatalf("PT under faults: %v", err)
+	}
+	if rep.Chaos == nil {
+		t.Fatal("no chaos report despite a fault plan")
+	}
+	if len(rep.Chaos.Killed) != 1 {
+		t.Fatalf("Killed = %v, want worker 1 dead", rep.Chaos.Killed)
+	}
+	if rep.Chaos.Reassigned == 0 {
+		t.Fatal("a death reassigned nothing")
+	}
+	if rep.Chaos.Speculated == 0 || rep.Chaos.DuplicatesDropped == 0 {
+		t.Fatalf("straggler never triggered speculation: %+v", rep.Chaos)
+	}
+}

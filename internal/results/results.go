@@ -94,6 +94,18 @@ func (s *Set) Cuboid(m lattice.Mask) map[string]agg.State {
 	return out
 }
 
+// Each invokes fn for every cell in the set (order unspecified). fn must
+// not call back into this set.
+func (s *Set) Each(fn func(m lattice.Mask, key []uint32, st agg.State)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for m, byKey := range s.cells {
+		for k, st := range byKey {
+			fn(m, DecodeKey(k), st)
+		}
+	}
+}
+
 // Get returns the state of one cell.
 func (s *Set) Get(m lattice.Mask, key []uint32) (agg.State, bool) {
 	s.mu.Lock()
