@@ -1,9 +1,9 @@
 # Development targets. CI (.github/workflows/ci.yml) runs the same steps.
 
 FUZZTIME ?= 30s
-FUZZ_TARGETS := FuzzDifferential FuzzMetamorphic FuzzHashTree FuzzEncodeRoundTrip
+FUZZ_TARGETS := FuzzDifferential FuzzMetamorphic FuzzHashTree FuzzEncodeRoundTrip FuzzSortKernel
 
-.PHONY: build vet test short race chaos fuzz corpus
+.PHONY: build vet test short race chaos fuzz corpus bench-smoke
 
 # The chaos suite: fault injection, failure detection and recovery tests
 # across the transport, scheduler, distributed-cube and POL layers. Every
@@ -44,3 +44,11 @@ fuzz:
 # Regenerate the checked-in seed corpus from internal/oracle/seeds.go.
 corpus:
 	go run ./internal/oracle/gencorpus
+
+# One pass over the paper-figure benchmarks, snapshotted to BENCH_<date>.json
+# and gated against bench/baseline.json. Only allocs/op regressions fail —
+# the sort/partition kernels are zero-allocation in steady state, so the
+# count is deterministic; ns/op on shared runners is too noisy to gate.
+bench-smoke:
+	go test -run xxx -bench 'BenchmarkFig|BenchmarkSec5_1' -benchmem -benchtime 1x -timeout 30m . | \
+		go run ./cmd/benchguard -out BENCH_$$(date +%F).json -baseline bench/baseline.json

@@ -28,10 +28,19 @@ const benchTuples = 8000
 
 func benchConfig() exp.Config { return exp.Config{Tuples: benchTuples} }
 
-func runExpBench(b *testing.B, f func(exp.Config) (*exp.Table, error)) {
+// runExpBench benchmarks a registered experiment by ID. The registry's
+// Scaled hook supplies the per-experiment workload adjustment, so the
+// benchmarked Config is exactly what `cubebench -exp <id> -tuples 8000`
+// runs.
+func runExpBench(b *testing.B, id string) {
 	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := e.Scaled(benchConfig())
 	for i := 0; i < b.N; i++ {
-		if _, err := f(benchConfig()); err != nil {
+		if _, err := e.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -47,43 +56,16 @@ func BenchmarkTable1_1_Features(b *testing.B) {
 	}
 }
 
-func BenchmarkFig3_6_IO(b *testing.B)          { runExpBench(b, exp.Fig3_6) }
-func BenchmarkFig4_1_Load(b *testing.B)        { runExpBench(b, exp.Fig4_1) }
-func BenchmarkFig4_2_Scalability(b *testing.B) { runExpBench(b, exp.Fig4_2) }
-
-func BenchmarkFig4_3_ProblemSize(b *testing.B) {
-	runExpBench(b, func(c exp.Config) (*exp.Table, error) {
-		c.Tuples = benchTuples / 2 // the sweep multiplies up to 5.66×
-		return exp.Fig4_3(c)
-	})
-}
-
-func BenchmarkFig4_4_Dimensions(b *testing.B) {
-	runExpBench(b, func(c exp.Config) (*exp.Table, error) {
-		c.Tuples = benchTuples / 2 // 13 dimensions = 8192 cuboids
-		return exp.Fig4_4(c)
-	})
-}
-
-func BenchmarkFig4_5_MinSup(b *testing.B)     { runExpBench(b, exp.Fig4_5) }
-func BenchmarkFig4_6_Sparseness(b *testing.B) { runExpBench(b, exp.Fig4_6) }
-func BenchmarkSec5_1_Materialize(b *testing.B) {
-	runExpBench(b, exp.Sec5_1)
-}
-
-func BenchmarkFig5_3_POLScalability(b *testing.B) {
-	runExpBench(b, func(c exp.Config) (*exp.Table, error) {
-		c.Tuples = 10 * benchTuples
-		return exp.Fig5_3(c)
-	})
-}
-
-func BenchmarkFig5_4_BufferSize(b *testing.B) {
-	runExpBench(b, func(c exp.Config) (*exp.Table, error) {
-		c.Tuples = 10 * benchTuples
-		return exp.Fig5_4(c)
-	})
-}
+func BenchmarkFig3_6_IO(b *testing.B)             { runExpBench(b, "fig3.6") }
+func BenchmarkFig4_1_Load(b *testing.B)           { runExpBench(b, "fig4.1") }
+func BenchmarkFig4_2_Scalability(b *testing.B)    { runExpBench(b, "fig4.2") }
+func BenchmarkFig4_3_ProblemSize(b *testing.B)    { runExpBench(b, "fig4.3") }
+func BenchmarkFig4_4_Dimensions(b *testing.B)     { runExpBench(b, "fig4.4") }
+func BenchmarkFig4_5_MinSup(b *testing.B)         { runExpBench(b, "fig4.5") }
+func BenchmarkFig4_6_Sparseness(b *testing.B)     { runExpBench(b, "fig4.6") }
+func BenchmarkSec5_1_Materialize(b *testing.B)    { runExpBench(b, "sec5.1") }
+func BenchmarkFig5_3_POLScalability(b *testing.B) { runExpBench(b, "fig5.3") }
+func BenchmarkFig5_4_BufferSize(b *testing.B)     { runExpBench(b, "fig5.4") }
 
 func BenchmarkFig4_7_Recipe(b *testing.B) {
 	profiles := []Profile{

@@ -2,76 +2,145 @@
 // evaluation (the per-experiment index lives in DESIGN.md) and prints the
 // series as aligned text — the data recorded in EXPERIMENTS.md.
 //
+// The experiment registry (internal/exp.Experiments) is shared with
+// bench_test.go, so the workload an experiment runs here is byte-identical
+// to the one CI benchmarks.
+//
 // Usage:
 //
 //	cubebench                  # all experiments at a reduced size
 //	cubebench -full            # the paper's full workload sizes (slow)
 //	cubebench -exp fig4.2      # one experiment
 //	cubebench -tuples 50000    # custom size
+//	cubebench -json out.json   # machine-readable series + wall times
+//	cubebench -cpuprofile p.out -exp fig4.2   # profile one experiment
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"icebergcube/internal/exp"
 )
 
-type experiment struct {
-	id  string
-	run func(exp.Config) (*exp.Table, error)
+// report is the -json output: one entry per experiment run, with the wall
+// time alongside the reproduced table so benchmark trajectories can be
+// tracked across commits (see cmd/benchguard).
+type report struct {
+	Generated string      `json:"generated"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	Runs      []runResult `json:"runs"`
 }
 
-func experiments() []experiment {
-	return []experiment{
-		{"table1.1", func(exp.Config) (*exp.Table, error) { return exp.Table1_1(), nil }},
-		{"fig3.6", exp.Fig3_6},
-		{"fig4.1", exp.Fig4_1},
-		{"fig4.2", exp.Fig4_2},
-		{"fig4.3", exp.Fig4_3},
-		{"fig4.4", exp.Fig4_4},
-		{"fig4.5", exp.Fig4_5},
-		{"fig4.6", exp.Fig4_6},
-		{"sec5.1", exp.Sec5_1},
-		{"fig5.3", exp.Fig5_3},
-		{"fig5.4", exp.Fig5_4},
-	}
+type runResult struct {
+	ID          string     `json:"id"`
+	Title       string     `json:"title"`
+	Tuples      int        `json:"tuples"` // 0 = the paper's full size
+	WallSeconds float64    `json:"wall_seconds"`
+	Table       *exp.Table `json:"table"`
 }
 
 func main() {
 	var (
-		which  = flag.String("exp", "all", "experiment id (table1.1, fig3.6, fig4.1..fig4.6, sec5.1, fig5.3, fig5.4) or 'all'")
-		tuples = flag.Int("tuples", 20000, "CUBE data-set size (POL experiments scale it 5×)")
-		full   = flag.Bool("full", false, "use the paper's full sizes (176,631 CUBE / 1,000,000 POL); slow")
-		seed   = flag.Int64("seed", 2001, "workload seed")
+		which      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		tuples     = flag.Int("tuples", 20000, "CUBE data-set size before per-experiment scaling")
+		full       = flag.Bool("full", false, "use the paper's full sizes (176,631 CUBE / 1,000,000 POL); slow")
+		seed       = flag.Int64("seed", 2001, "workload seed")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		jsonPath   = flag.String("json", "", "write machine-readable results to this file ('-' = stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the runs to this file")
 	)
 	flag.Parse()
 
-	c := exp.Config{Tuples: *tuples, Seed: *seed}
+	if *list {
+		for _, e := range exp.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cubebench: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cubebench: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	base := exp.Config{Tuples: *tuples, Seed: *seed}
 	if *full {
-		c.Tuples = 0 // defaults to the paper's sizes per experiment
+		base.Tuples = 0 // defaults to the paper's sizes per experiment
+	}
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
 	}
 	ran := 0
-	for _, e := range experiments() {
-		if *which != "all" && !strings.EqualFold(*which, e.id) {
+	for _, e := range exp.Experiments() {
+		if *which != "all" && !strings.EqualFold(*which, e.ID) {
 			continue
 		}
-		cfg := c
-		if strings.HasPrefix(e.id, "fig5") && !*full {
-			cfg.Tuples = 5 * *tuples
-		}
-		tbl, err := e.run(cfg)
+		cfg := e.Scaled(base)
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		wall := time.Since(start)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cubebench: %s: %v\n", e.id, err)
-			os.Exit(1)
+			fatalf("cubebench: %s: %v", e.ID, err)
 		}
-		fmt.Println(tbl.Format())
+		if *jsonPath != "-" {
+			fmt.Println(tbl.Format())
+		}
+		rep.Runs = append(rep.Runs, runResult{
+			ID: e.ID, Title: e.Title, Tuples: cfg.Tuples,
+			WallSeconds: wall.Seconds(), Table: tbl,
+		})
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "cubebench: unknown experiment %q\n", *which)
-		os.Exit(1)
+		fatalf("cubebench: unknown experiment %q (try -list)", *which)
 	}
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fatalf("cubebench: %v", err)
+		}
+		out = append(out, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fatalf("cubebench: %v", err)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("cubebench: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fatalf("cubebench: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }

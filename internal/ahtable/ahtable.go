@@ -19,10 +19,14 @@ import (
 )
 
 // entry is one cell: its full key (values of the table's attributes, in
-// attribute order) and aggregate state. Colliding cells chain in a bucket.
+// attribute order) and aggregate state. Colliding cells chain in insertion
+// order through next, which holds the successor's entries index plus one
+// (0 terminates), so a chain costs no allocation beyond the shared entries
+// arena.
 type entry struct {
 	key   []uint32
 	state agg.State
+	next  int32
 }
 
 // Table is a bit-packed-index hash table over a set of cube attribute
@@ -35,10 +39,20 @@ type Table struct {
 	bitsPer []int
 	// mixed selects the §4.9.2 improvement: a multiplicative mixing hash
 	// over the whole key instead of the naive MOD bit concatenation.
-	mixed   bool
-	buckets [][]entry
+	mixed bool
+	// heads[b] is the bucket's first entries index plus one; 0 means the
+	// bucket is empty, so a fresh directory needs no fill pass. All cells
+	// live back to back in entries — one amortized arena instead of one
+	// chain slice per bucket, which dominated the allocation profile.
+	heads   []int32
+	entries []entry
 	length  int
 	ctr     *cost.Counters
+	// keyArena holds every inserted key's copy back to back; per-cell key
+	// allocations dominated the profile. Blocks are append-only (the table
+	// never deletes), so carved key slices stay valid when a block fills
+	// and a fresh one replaces it.
+	keyArena []uint32
 }
 
 // PlanBits assigns index bits to each attribute: log2(cardinality) each,
@@ -92,9 +106,27 @@ func NewWithHash(pos []int, bitsPer []int, mixed bool, ctr *cost.Counters) *Tabl
 		pos:     append([]int(nil), pos...),
 		bitsPer: append([]int(nil), bitsPer...),
 		mixed:   mixed,
-		buckets: make([][]entry, 1<<uint(total)),
+		heads:   make([]int32, 1<<uint(total)),
 		ctr:     ctr,
 	}
+}
+
+// keyArenaBlock sizes the key arena; a block holds ~1k cells of a
+// 4-attribute cube.
+const keyArenaBlock = 4096
+
+// copyKey carves a copy of key out of the table's arena.
+func (t *Table) copyKey(key []uint32) []uint32 {
+	if cap(t.keyArena)-len(t.keyArena) < len(key) {
+		size := keyArenaBlock
+		if len(key) > size {
+			size = len(key)
+		}
+		t.keyArena = make([]uint32, 0, size)
+	}
+	off := len(t.keyArena)
+	t.keyArena = append(t.keyArena, key...)
+	return t.keyArena[off : off+len(key) : off+len(key)]
 }
 
 // Positions returns the cube positions the table covers.
@@ -104,7 +136,7 @@ func (t *Table) Positions() []int { return t.pos }
 func (t *Table) Len() int { return t.length }
 
 // NumBuckets returns the fixed bucket count.
-func (t *Table) NumBuckets() int { return len(t.buckets) }
+func (t *Table) NumBuckets() int { return len(t.heads) }
 
 // index computes the bucket of a key: naive MOD concatenates each
 // attribute's low bits; the mixed variant folds every element through a
@@ -116,7 +148,7 @@ func (t *Table) index(key []uint32) uint32 {
 			h = (h ^ uint64(v)) * 0x9E3779B97F4A7C15
 			h ^= h >> 29
 		}
-		return uint32(h) & uint32(len(t.buckets)-1)
+		return uint32(h) & uint32(len(t.heads)-1)
 	}
 	var idx uint32
 	for i, b := range t.bitsPer {
@@ -126,22 +158,40 @@ func (t *Table) index(key []uint32) uint32 {
 }
 
 // locate finds the entry for key in bucket b, charging a hash probe plus
-// one collision per extra chain link inspected.
-func (t *Table) locate(b uint32, key []uint32) int {
+// one collision per extra chain link inspected. It returns the matching
+// entries index (or -1) and the chain's last entries index (or -1 for an
+// empty bucket) so a missing cell can be appended in insertion order.
+func (t *Table) locate(b uint32, key []uint32) (found, last int) {
 	t.ctr.HashOps++
-	chain := t.buckets[b]
-	for i := range chain {
-		if i > 0 {
+	last = -1
+	first := true
+	for e := t.heads[b]; e != 0; e = t.entries[e-1].next {
+		if !first {
 			t.ctr.Collisions++
 		}
-		if equalKey(chain[i].key, key) {
-			return i
+		first = false
+		if equalKey(t.entries[e-1].key, key) {
+			return int(e - 1), last
 		}
+		last = int(e - 1)
 	}
-	if len(chain) > 0 {
+	if !first {
 		t.ctr.Collisions++
 	}
-	return -1
+	return -1, last
+}
+
+// link appends a fresh entry for key to bucket b's chain, after the chain's
+// current last entry (-1 for an empty bucket).
+func (t *Table) link(b uint32, last int, key []uint32, st agg.State) {
+	t.entries = append(t.entries, entry{key: t.copyKey(key), state: st})
+	idx := int32(len(t.entries))
+	if last < 0 {
+		t.heads[b] = idx
+	} else {
+		t.entries[last].next = idx
+	}
+	t.length++
 }
 
 func equalKey(a, b []uint32) bool {
@@ -157,36 +207,36 @@ func equalKey(a, b []uint32) bool {
 // reports whether a new cell was created. The key is copied on insert.
 func (t *Table) Add(key []uint32, measure float64) bool {
 	b := t.index(key)
-	if i := t.locate(b, key); i >= 0 {
-		t.buckets[b][i].state.Add(measure)
+	i, last := t.locate(b, key)
+	if i >= 0 {
+		t.entries[i].state.Add(measure)
 		return false
 	}
 	st := agg.NewState()
 	st.Add(measure)
-	t.buckets[b] = append(t.buckets[b], entry{key: append([]uint32(nil), key...), state: st})
-	t.length++
+	t.link(b, last, key, st)
 	return true
 }
 
 // MergeState folds a whole aggregate state into the cell for key.
 func (t *Table) MergeState(key []uint32, st agg.State) bool {
 	b := t.index(key)
-	if i := t.locate(b, key); i >= 0 {
-		t.buckets[b][i].state.Merge(st)
+	i, last := t.locate(b, key)
+	if i >= 0 {
+		t.entries[i].state.Merge(st)
 		return false
 	}
 	ns := agg.NewState()
 	ns.Merge(st)
-	t.buckets[b] = append(t.buckets[b], entry{key: append([]uint32(nil), key...), state: ns})
-	t.length++
+	t.link(b, last, key, ns)
 	return true
 }
 
 // Get returns the state for key.
 func (t *Table) Get(key []uint32) (agg.State, bool) {
 	b := t.index(key)
-	if i := t.locate(b, key); i >= 0 {
-		return t.buckets[b][i].state, true
+	if i, _ := t.locate(b, key); i >= 0 {
+		return t.entries[i].state, true
 	}
 	return agg.State{}, false
 }
@@ -194,9 +244,9 @@ func (t *Table) Get(key []uint32) (agg.State, bool) {
 // Scan visits every cell in unspecified (bucket) order; the callback must
 // not retain key.
 func (t *Table) Scan(fn func(key []uint32, st agg.State) bool) {
-	for _, chain := range t.buckets {
-		for i := range chain {
-			if !fn(chain[i].key, chain[i].state) {
+	for _, head := range t.heads {
+		for e := head; e != 0; e = t.entries[e-1].next {
+			if !fn(t.entries[e-1].key, t.entries[e-1].state) {
 				return
 			}
 		}
@@ -239,7 +289,7 @@ func (t *Table) Collapse(subPos []int) *Table {
 // SizeBytes estimates the table's memory footprint: the bucket directory
 // plus per-cell keys and states (§4.1's accounting: |R| indices plus cells).
 func (t *Table) SizeBytes() int64 {
-	total := int64(len(t.buckets)) * 8
+	total := int64(len(t.heads)) * 8
 	t.Scan(func(key []uint32, _ agg.State) bool {
 		total += int64(4*len(key)) + 32
 		return true
@@ -250,9 +300,13 @@ func (t *Table) SizeBytes() int64 {
 // MaxChain returns the longest bucket chain, a direct collision metric.
 func (t *Table) MaxChain() int {
 	max := 0
-	for _, chain := range t.buckets {
-		if len(chain) > max {
-			max = len(chain)
+	for _, head := range t.heads {
+		n := 0
+		for e := head; e != 0; e = t.entries[e-1].next {
+			n++
+		}
+		if n > max {
+			max = n
 		}
 	}
 	return max

@@ -108,6 +108,12 @@ type Stage struct {
 	target disk.CellSink
 	cells  []stagedCell
 	bytes  int64
+	// keys stores every staged cell's key copy back to back, reset (not
+	// freed) on commit/discard, so steady-state staging stops allocating
+	// one slice per cell. Cell key slices keep pointing into whatever
+	// backing array they were carved from, so growth mid-task is safe; no
+	// downstream sink retains the slice past its WriteCell call.
+	keys []uint32
 }
 
 type stagedCell struct {
@@ -122,7 +128,9 @@ func NewStage(target disk.CellSink) *Stage { return &Stage{target: target} }
 
 // WriteCell implements disk.CellSink: the cell is buffered, not yet final.
 func (s *Stage) WriteCell(m lattice.Mask, key []uint32, st agg.State) {
-	s.cells = append(s.cells, stagedCell{mask: m, key: append([]uint32(nil), key...), st: st})
+	off := len(s.keys)
+	s.keys = append(s.keys, key...)
+	s.cells = append(s.cells, stagedCell{mask: m, key: s.keys[off : off+len(key) : off+len(key)], st: st})
 	s.bytes += disk.CellBytes(len(key))
 }
 
@@ -145,6 +153,7 @@ func (s *Stage) Discard() { s.reset() }
 
 func (s *Stage) reset() {
 	s.cells = s.cells[:0]
+	s.keys = s.keys[:0]
 	s.bytes = 0
 }
 

@@ -8,6 +8,7 @@ import (
 	"icebergcube/internal/cluster"
 	"icebergcube/internal/disk"
 	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
 	"icebergcube/internal/skiplist"
 )
 
@@ -48,6 +49,7 @@ type aslState struct {
 	first     *aslHeld
 	prev      *aslHeld
 	seed      int64
+	scratch   *relation.Scratch // private to this worker's goroutine
 }
 
 // aslScheduler is the manager process: it owns the remaining-cuboid set and
@@ -170,7 +172,7 @@ func aslCompute(run Run, w *cluster.Worker, mask lattice.Mask) {
 	var list *skiplist.List
 	key := make([]uint32, len(pos))
 	if run.ExtendedAffinity {
-		st.sortOrder = SortForRoot(run.Rel, st.view, run.Dims, st.sortOrder, mask, &w.Ctr)
+		st.sortOrder = SortForRootScratch(run.Rel, st.view, run.Dims, st.sortOrder, mask, &w.Ctr, st.scratch)
 		builder := skiplist.NewBuilder(st.nextSeed(), &w.Ctr)
 		next := make([]uint32, len(pos))
 		cs := agg.NewState()
@@ -262,8 +264,9 @@ func ASL(run Run) (*Report, error) {
 	}
 	workers := cluster.NewWorkers(run.Cluster, run.Workers, func(w *cluster.Worker) {
 		w.State = &aslState{
-			out:  disk.NewWriter(&w.Ctr, w.StageTo(run.Sink)),
-			seed: run.Seed + int64(w.ID)<<20,
+			out:     disk.NewWriter(&w.Ctr, w.StageTo(run.Sink)),
+			seed:    run.Seed + int64(w.ID)<<20,
+			scratch: relation.NewScratch(),
 		}
 	})
 	sched := &aslScheduler{run: run, remaining: remaining, names: cubeNames(run)}

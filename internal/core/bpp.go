@@ -6,6 +6,7 @@ import (
 	"icebergcube/internal/cluster"
 	"icebergcube/internal/disk"
 	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
 )
 
 // BPP — Breadth-first writing, Partitioned, Parallel BUC (§3.2, Fig 3.5).
@@ -35,10 +36,11 @@ func BPP(run Run) (*Report, error) {
 	// that lands on another node.
 	chunks := make([][][]int32, m) // chunks[i][j] = rows of R_i(j)
 	type bppState struct {
-		out *disk.Writer
+		out     *disk.Writer
+		scratch *relation.Scratch // private to this worker's goroutine
 	}
 	workers := cluster.NewWorkers(run.Cluster, n, func(w *cluster.Worker) {
-		w.State = &bppState{out: disk.NewWriter(&w.Ctr, w.StageTo(run.Sink))}
+		w.State = &bppState{out: disk.NewWriter(&w.Ctr, w.StageTo(run.Sink)), scratch: relation.NewScratch()}
 	})
 	bytesPerRow := int64(4*rel.NumDims() + 8)
 	for i := 0; i < m; i++ {
@@ -87,9 +89,10 @@ func BPP(run Run) (*Report, error) {
 					}
 					s := w.State.(*bppState)
 					w.Ctr.BytesRead += int64(len(chunk)) * bytesPerRow
-					view := append([]int32(nil), chunk...)
-					rel.SortView(view, []int{dims[i]}, &w.Ctr)
-					RunSubtree(rel, view, dims, sub, cond, s.out, &w.Ctr)
+					view := append(s.scratch.Int32s(len(chunk)), chunk...)
+					rel.SortViewScratch(view, []int{dims[i]}, &w.Ctr, s.scratch)
+					RunSubtreeScratch(rel, view, dims, sub, cond, s.out, &w.Ctr, s.scratch)
+					s.scratch.PutInt32s(view)
 					return nil
 				},
 			})

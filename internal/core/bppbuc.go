@@ -25,10 +25,18 @@ import (
 // sorted by t.Root's dimensions (the driver owns that sort so PT can share
 // sort prefixes across tasks); it is not modified.
 func RunSubtree(rel *relation.Relation, view []int32, dims []int, t *lattice.Subtree, cond agg.Condition, out *disk.Writer, ctr *cost.Counters) {
-	c := &bucCtx{rel: rel, dims: dims, cond: cond, out: out, ctr: ctr}
+	RunSubtreeScratch(rel, view, dims, t, cond, out, ctr, nil)
+}
+
+// RunSubtreeScratch is RunSubtree using the given per-worker arena (nil
+// allowed) for pruned-view, child-view, position and key buffers, keeping
+// the breadth-first recursion allocation-free in steady state.
+func RunSubtreeScratch(rel *relation.Relation, view []int32, dims []int, t *lattice.Subtree, cond agg.Condition, out *disk.Writer, ctr *cost.Counters, s *relation.Scratch) {
+	c := &bucCtx{rel: rel, dims: dims, cond: cond, out: out, ctr: ctr, scratch: s}
 	rootPos := t.Root.Dims()
-	key := make([]uint32, len(rootPos))
+	key := s.Uint32s(len(rootPos))[:len(rootPos)]
 	c.breadthNode(view, t.Root, rootPos, t, key)
+	s.PutUint32s(key[:0])
 }
 
 // breadthNode processes one cuboid node: view is sorted by the node's
@@ -43,8 +51,10 @@ func (c *bucCtx) breadthNode(view []int32, node lattice.Mask, nodePos []int, t *
 
 	// Walk the view once, detecting group boundaries on the node's full
 	// key, writing cells breadth-first, and compacting surviving groups
-	// into pruned.
-	pruned := make([]int32, 0, len(view))
+	// into pruned. pruned never outgrows view, so the pooled buffer is
+	// never reallocated.
+	pruned := c.scratch.Int32s(len(view))
+	defer func() { c.scratch.PutInt32s(pruned[:0]) }()
 	lo := 0
 	flush := func(hi int) {
 		run := view[lo:hi]
@@ -95,11 +105,14 @@ func (c *bucCtx) breadthNode(view []int32, node lattice.Mask, nodePos []int, t *
 		if !t.Contains(child) && !branchIntersects(child, t) {
 			continue
 		}
-		childView := append([]int32(nil), pruned...)
+		childView := append(c.scratch.Int32s(len(pruned)), pruned...)
 		c.sortWithinGroups(childView, nodePos, c.dims[k])
-		childPos := append(append(make([]int, 0, len(nodePos)+1), nodePos...), k)
-		childKey := make([]uint32, len(childPos))
+		childPos := append(append(c.scratch.Ints(len(nodePos)+1), nodePos...), k)
+		childKey := c.scratch.Uint32s(len(childPos))[:len(childPos)]
 		c.breadthNode(childView, child, childPos, t, childKey)
+		c.scratch.PutUint32s(childKey[:0])
+		c.scratch.PutInts(childPos)
+		c.scratch.PutInt32s(childView)
 	}
 }
 
@@ -141,7 +154,7 @@ func (c *bucCtx) sortWithinGroups(view []int32, groupPos []int, d int) {
 	lo := 0
 	for i := 1; i <= len(view); i++ {
 		if i == len(view) || !c.sameKey(view[i], view[i-1], groupPos) {
-			c.rel.SortView(view[lo:i], []int{d}, c.ctr)
+			c.rel.SortViewScratch(view[lo:i], []int{d}, c.ctr, c.scratch)
 			lo = i
 		}
 	}
@@ -153,6 +166,13 @@ func (c *bucCtx) sortWithinGroups(view []int32, groupPos []int, d int) {
 // groups the prefix defines. It returns the new sort order (rel dimension
 // list).
 func SortForRoot(rel *relation.Relation, view []int32, dims []int, prevOrder []int, root lattice.Mask, ctr *cost.Counters) []int {
+	return SortForRootScratch(rel, view, dims, prevOrder, root, ctr, nil)
+}
+
+// SortForRootScratch is SortForRoot using the given per-worker arena (nil
+// allowed). The returned sort order is freshly allocated — it outlives the
+// call as the worker's affinity state, so it must not come from the arena.
+func SortForRootScratch(rel *relation.Relation, view []int32, dims []int, prevOrder []int, root lattice.Mask, ctr *cost.Counters, s *relation.Scratch) []int {
 	rootDims := make([]int, 0, root.Count())
 	for _, p := range root.Dims() {
 		rootDims = append(rootDims, dims[p])
@@ -162,7 +182,7 @@ func SortForRoot(rel *relation.Relation, view []int32, dims []int, prevOrder []i
 		shared++
 	}
 	if shared == 0 {
-		rel.SortView(view, rootDims, ctr)
+		rel.SortViewScratch(view, rootDims, ctr, s)
 		return rootDims
 	}
 	if shared == len(rootDims) {
@@ -183,7 +203,7 @@ func SortForRoot(rel *relation.Relation, view []int32, dims []int, prevOrder []i
 	}
 	for i := 1; i <= len(view); i++ {
 		if i == len(view) || !same(view[i], view[i-1]) {
-			rel.SortView(view[lo:i], rootDims[shared:], ctr)
+			rel.SortViewScratch(view[lo:i], rootDims[shared:], ctr, s)
 			lo = i
 		}
 	}

@@ -11,11 +11,12 @@ import (
 // bucCtx carries the invariants of one BUC traversal so the recursion only
 // passes what changes.
 type bucCtx struct {
-	rel  *relation.Relation
-	dims []int // cube dimensions: position p ⇔ rel dimension dims[p]
-	cond agg.Condition
-	out  *disk.Writer
-	ctr  *cost.Counters
+	rel     *relation.Relation
+	dims    []int // cube dimensions: position p ⇔ rel dimension dims[p]
+	cond    agg.Condition
+	out     *disk.Writer
+	ctr     *cost.Counters
+	scratch *relation.Scratch // per-traversal sort arena; nil falls back to per-call allocation
 }
 
 // aggregateRun folds the measures of a row run into a fresh state, charging
@@ -38,9 +39,17 @@ func (c *bucCtx) aggregateRun(view []int32) agg.State {
 //
 // view is reordered in place.
 func BUCSubtree(rel *relation.Relation, view []int32, dims []int, start int, cond agg.Condition, out *disk.Writer, ctr *cost.Counters) {
-	c := &bucCtx{rel: rel, dims: dims, cond: cond, out: out, ctr: ctr}
-	key := make([]uint32, 0, len(dims))
+	BUCSubtreeScratch(rel, view, dims, start, cond, out, ctr, nil)
+}
+
+// BUCSubtreeScratch is BUCSubtree using the given per-worker arena (nil
+// allowed) for all partitioning buffers, keeping steady-state recursion
+// allocation-free.
+func BUCSubtreeScratch(rel *relation.Relation, view []int32, dims []int, start int, cond agg.Condition, out *disk.Writer, ctr *cost.Counters, s *relation.Scratch) {
+	c := &bucCtx{rel: rel, dims: dims, cond: cond, out: out, ctr: ctr, scratch: s}
+	key := s.Uint32s(len(dims))
 	c.bucRecurse(view, start, 0, key)
+	s.PutUint32s(key)
 }
 
 // bucRecurse partitions view on cube position p, and for every surviving
@@ -50,7 +59,7 @@ func (c *bucCtx) bucRecurse(view []int32, p int, mask lattice.Mask, key []uint32
 		return
 	}
 	d := c.dims[p]
-	bounds := c.rel.PartitionView(view, d, c.ctr)
+	bounds := c.rel.PartitionViewScratch(view, d, c.ctr, c.scratch)
 	childMask := mask | 1<<uint(p)
 	col := c.rel.Column(d)
 	for i := 0; i+1 < len(bounds); i++ {
@@ -67,6 +76,7 @@ func (c *bucCtx) bucRecurse(view []int32, p int, mask lattice.Mask, key []uint32
 			c.bucRecurse(run, k, childMask, childKey)
 		}
 	}
+	c.scratch.PutInts(bounds)
 }
 
 // BUC computes the complete iceberg cube sequentially with the original
@@ -75,8 +85,9 @@ func (c *bucCtx) bucRecurse(view []int32, p int, mask lattice.Mask, key []uint32
 // kernel RP parallelizes.
 func BUC(rel *relation.Relation, dims []int, cond agg.Condition, out *disk.Writer, ctr *cost.Counters) {
 	view := rel.Identity()
+	scratch := relation.NewScratch()
 	writeAll(rel, view, cond, out, ctr)
 	for p := range dims {
-		BUCSubtree(rel, view, dims, p, cond, out, ctr)
+		BUCSubtreeScratch(rel, view, dims, p, cond, out, ctr, scratch)
 	}
 }

@@ -169,11 +169,11 @@ func relNames(rel *relation.Relation, dims []int) []string {
 // runDistTask executes one task into out. It is a pure function of
 // (rel, dims, cond, task), which is what makes re-execution on any rank
 // safe.
-func runDistTask(rel *relation.Relation, dims []int, cond agg.Condition, t distTask, out *disk.Writer, ctr *cost.Counters) {
+func runDistTask(rel *relation.Relation, dims []int, cond agg.Condition, t distTask, out *disk.Writer, ctr *cost.Counters, s *relation.Scratch) {
 	sub := lattice.FullSubtree(lattice.MaskOf(t.dim), len(dims))
 	view := rel.Identity()
-	rel.SortView(view, []int{dims[t.dim]}, ctr)
-	RunSubtree(rel, view, dims, sub, cond, out, ctr)
+	rel.SortViewScratch(view, []int{dims[t.dim]}, ctr, s)
+	RunSubtreeScratch(rel, view, dims, sub, cond, out, ctr, s)
 }
 
 // distManager is rank 0: task pool, leases, commit, recovery.
@@ -197,8 +197,9 @@ func distManager(comm mpi.Comm, rel *relation.Relation, dims []int, cond agg.Con
 	liveWorkers := comm.Size() - 1
 
 	doneCount := func() int { return len(committed) }
+	scratch := relation.NewScratch()
 	commitLocal := func(id int) {
-		runDistTask(rel, dims, cond, tasks[id], out, &ctr)
+		runDistTask(rel, dims, cond, tasks[id], out, &ctr, scratch)
 		committed[id] = true
 		rep.TasksRun++
 	}
@@ -368,6 +369,7 @@ func distWorker(comm mpi.Comm, rel *relation.Relation, dims []int, cond agg.Cond
 	}
 	const maxGrantRetries = 8
 	retries := 0
+	scratch := relation.NewScratch()
 	for {
 		if err := comm.Send(0, tagCtl, []byte{ctlReq}); err != nil {
 			return nil, fmt.Errorf("core: rank %d requesting task: %w", comm.Rank(), err)
@@ -393,7 +395,7 @@ func distWorker(comm mpi.Comm, rel *relation.Relation, dims []int, cond agg.Cond
 			id := int(binary.LittleEndian.Uint32(msg.Payload[1:]))
 			var ctr cost.Counters
 			staged := results.NewSet()
-			runDistTask(rel, dims, cond, tasks[id], disk.NewWriter(&ctr, staged), &ctr)
+			runDistTask(rel, dims, cond, tasks[id], disk.NewWriter(&ctr, staged), &ctr, scratch)
 			payload := staged.Encode()
 			if cfg.MemBudget > 0 && int64(len(payload)) > cfg.MemBudget {
 				taskErr := fmt.Errorf("core: task %q staged %d bytes over budget %d: %w",

@@ -8,6 +8,7 @@ import (
 	"icebergcube/internal/cluster"
 	"icebergcube/internal/disk"
 	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
 )
 
 // PT — Partitioned Tree (§3.4, Fig 3.10), the paper's recommended default.
@@ -28,6 +29,7 @@ type ptState struct {
 	sortOrder []int // rel dims the view is currently sorted by
 	prevRoot  lattice.Mask
 	hasPrev   bool
+	scratch   *relation.Scratch // private to this worker's goroutine
 }
 
 // ptScheduler assigns the remaining subtree whose root shares the longest
@@ -86,8 +88,8 @@ func (s *ptScheduler) Next(w *cluster.Worker) *cluster.Task {
 func ptCompute(run Run, w *cluster.Worker, t *lattice.Subtree) {
 	st := w.State.(*ptState)
 	ensureReplica(w, &st.loaded, &st.view, run)
-	st.sortOrder = SortForRoot(run.Rel, st.view, run.Dims, st.sortOrder, t.Root, &w.Ctr)
-	RunSubtree(run.Rel, st.view, run.Dims, t, run.Cond, st.out, &w.Ctr)
+	st.sortOrder = SortForRootScratch(run.Rel, st.view, run.Dims, st.sortOrder, t.Root, &w.Ctr, st.scratch)
+	RunSubtreeScratch(run.Rel, st.view, run.Dims, t, run.Cond, st.out, &w.Ctr, st.scratch)
 	st.prevRoot = t.Root
 	st.hasPrev = true
 }
@@ -107,7 +109,7 @@ func PT(run Run) (*Report, error) {
 		return tasks[a].Root < tasks[b].Root
 	})
 	workers := cluster.NewWorkers(run.Cluster, run.Workers, func(w *cluster.Worker) {
-		w.State = &ptState{out: disk.NewWriter(&w.Ctr, w.StageTo(run.Sink))}
+		w.State = &ptState{out: disk.NewWriter(&w.Ctr, w.StageTo(run.Sink)), scratch: relation.NewScratch()}
 	})
 	sched := &ptScheduler{
 		run:   run,

@@ -6,6 +6,7 @@ import (
 	"icebergcube/internal/cluster"
 	"icebergcube/internal/disk"
 	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
 )
 
 // RP — Replicated Parallel BUC (§3.1, Fig 3.1/3.2). The data set is
@@ -21,12 +22,13 @@ func RP(run Run) (*Report, error) {
 	rel, dims, cond := run.Rel, run.Dims, run.Cond
 
 	type rpState struct {
-		out    *disk.Writer
-		view   []int32
-		loaded bool
+		out     *disk.Writer
+		view    []int32
+		loaded  bool
+		scratch *relation.Scratch // private to this worker's goroutine
 	}
 	workers := cluster.NewWorkers(run.Cluster, run.Workers, func(w *cluster.Worker) {
-		w.State = &rpState{out: disk.NewWriter(&w.Ctr, w.StageTo(run.Sink))}
+		w.State = &rpState{out: disk.NewWriter(&w.Ctr, w.StageTo(run.Sink)), scratch: relation.NewScratch()}
 	})
 
 	sched := cluster.NewQueueScheduler(run.Workers)
@@ -47,7 +49,7 @@ func RP(run Run) (*Report, error) {
 			Run: func(w *cluster.Worker) error {
 				s := w.State.(*rpState)
 				ensureReplica(w, &s.loaded, &s.view, run)
-				BUCSubtree(rel, s.view, dims, p, cond, s.out, &w.Ctr)
+				BUCSubtreeScratch(rel, s.view, dims, p, cond, s.out, &w.Ctr, s.scratch)
 				return nil
 			},
 		})

@@ -152,9 +152,14 @@ func Run(q Query) (*Result, error) {
 	clWorkers[0].Advance(cost.Counters{})
 
 	key := make([]uint32, len(q.Dims))
+	// Hoist the dimension columns once: keyOf runs per tuple per step.
+	keyCols := make([][]uint32, len(q.Dims))
+	for i, d := range q.Dims {
+		keyCols[i] = rel.Column(d)
+	}
 	keyOf := func(row int32, dst []uint32) {
-		for i, d := range q.Dims {
-			dst[i] = rel.Value(d, int(row))
+		for i, col := range keyCols {
+			dst[i] = col[row]
 		}
 	}
 
@@ -348,9 +353,15 @@ func nextTask(done [][]bool, w int) (j, i int, ok bool) {
 // contains key (boundaries are the n-1 sorted lower bounds of partitions
 // 1..n-1).
 func ownerOf(key []uint32, boundaries [][]uint32) int {
-	return sort.Search(len(boundaries), func(i int) bool {
-		return compareKeys(boundaries[i], key) > 0
-	})
+	// Linear scan: there are at most workers-1 boundaries, and this runs
+	// once per tuple per step — a closure-based binary search costs more
+	// than it saves at this size.
+	for i, b := range boundaries {
+		if compareKeys(b, key) > 0 {
+			return i
+		}
+	}
+	return len(boundaries)
 }
 
 func compareKeys(a, b []uint32) int {

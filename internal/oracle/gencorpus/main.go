@@ -15,7 +15,7 @@ import (
 	"icebergcube/internal/oracle"
 )
 
-var targets = []string{"FuzzDifferential", "FuzzMetamorphic", "FuzzHashTree", "FuzzEncodeRoundTrip"}
+var targets = []string{"FuzzDifferential", "FuzzMetamorphic", "FuzzHashTree", "FuzzEncodeRoundTrip", "FuzzSortKernel"}
 
 func main() {
 	for _, tgt := range targets {

@@ -1,0 +1,101 @@
+package oracle
+
+import (
+	"sort"
+	"testing"
+
+	"icebergcube/internal/relation"
+)
+
+// sortKernelSpec checks the sort/partition kernels on one decoded spec:
+// SortViewScratch must reproduce sort.SliceStable's permutation exactly
+// (both are stable, so the answer is unique), and PartitionViewScratch's
+// bounds must equal Runs over the sorted view. inflate widens the declared
+// cardinalities without changing the data, which flips the kernel
+// dispatcher from counting sort to LSD radix — same input, other kernel,
+// identical required output.
+func sortKernelSpec(t *testing.T, spec *Spec, inflate bool) {
+	t.Helper()
+	cards := spec.Cards
+	if inflate {
+		cards = make([]int, len(spec.Cards))
+		for i, c := range spec.Cards {
+			cards[i] = c * 100000 // > 4·maxRows, forces the radix path
+		}
+	}
+	names := make([]string, len(cards))
+	for i := range names {
+		names[i] = "D"
+	}
+	rel := relation.New(names, cards)
+	for r, row := range spec.Rows {
+		rel.Append(row, float64(spec.Meas[r]))
+	}
+	if rel.Len() == 0 {
+		return
+	}
+	// Sort-dimension order rotated by the seed so the fuzzer steers it.
+	dims := make([]int, rel.NumDims())
+	for i := range dims {
+		dims[i] = (i + int(spec.Seed)) % len(dims)
+	}
+
+	s := relation.NewScratch()
+	idx := rel.Identity()
+	rel.SortViewScratch(idx, dims, nil, s)
+
+	ref := rel.Identity()
+	sort.SliceStable(ref, func(a, b int) bool {
+		return rel.CompareRows(ref[a], ref[b], dims, relation.NopCounter()) < 0
+	})
+	for i := range ref {
+		if idx[i] != ref[i] {
+			t.Fatalf("inflate=%v: permutation diverges from sort.SliceStable at %d (%d vs %d)\nspec %s\ncorpus file:\n%s",
+				inflate, i, idx[i], ref[i], spec, CorpusFile(spec.Encode()))
+		}
+	}
+
+	shuffled := rel.Identity()
+	bounds := rel.PartitionViewScratch(shuffled, dims[0], nil, s)
+	want := rel.Runs(shuffled, dims[0])
+	if len(bounds) != len(want) {
+		t.Fatalf("inflate=%v: partition bounds %v, want %v\ncorpus file:\n%s",
+			inflate, bounds, want, CorpusFile(spec.Encode()))
+	}
+	for i := range want {
+		if bounds[i] != want[i] {
+			t.Fatalf("inflate=%v: partition bounds %v, want %v\ncorpus file:\n%s",
+				inflate, bounds, want, CorpusFile(spec.Encode()))
+		}
+	}
+	s.PutInts(bounds)
+}
+
+// FuzzSortKernel fuzzes the zero-allocation sort/partition kernels
+// against the standard library on the oracle's spec format. Each input is
+// checked twice: once at its decoded cardinalities (counting/insertion
+// kernels) and once with inflated cardinalities (LSD radix kernel).
+func FuzzSortKernel(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		sortKernelSpec(t, spec, false)
+		sortKernelSpec(t, spec, true)
+	})
+}
+
+// TestSortKernelSeeds replays the checked-in seed specs through the
+// kernel check, so `go test` covers it without the fuzzer.
+func TestSortKernelSeeds(t *testing.T) {
+	for _, data := range SeedInputs() {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			continue
+		}
+		sortKernelSpec(t, spec, false)
+		sortKernelSpec(t, spec, true)
+	}
+}

@@ -18,19 +18,25 @@ func (r *Relation) RangePartition(d, n int) [][]int32 {
 	for _, v := range col {
 		hist[v]++
 	}
-	// Greedy range assignment: walk codes in order, starting a new chunk
-	// when the current one reaches the ideal share.
-	target := (r.Len() + n - 1) / n
+	// Greedy range assignment against cumulative ideal boundaries: chunk k
+	// ends at the first code whose cumulative count reaches ceil(k·total/n).
+	// Tracking the cumulative count (rather than resetting a per-chunk
+	// accumulator at each cut) carries overshoot from a heavy code into the
+	// following chunks' budgets, so one skewed value doesn't inflate every
+	// chunk after it. A code heavy enough to swallow several ideal shares
+	// produces several cuts at the same position, i.e. empty chunks — the
+	// paper's Gender-over-4-processors case (§3.3).
+	total := r.Len()
 	cutAfter := make([]int, 0, n) // exclusive upper code bound per chunk
-	acc := 0
-	for v := 0; v < len(hist); v++ {
-		acc += hist[v]
-		if acc >= target && len(cutAfter) < n-1 {
+	cum := 0
+	next := 1
+	for v := 0; v < len(hist) && next < n; v++ {
+		cum += hist[v]
+		for next < n && cum >= (next*total+n-1)/n {
 			cutAfter = append(cutAfter, v+1)
-			acc = 0
+			next++
 		}
 	}
-	cutAfter = append(cutAfter, len(hist))
 	for len(cutAfter) < n {
 		cutAfter = append(cutAfter, len(hist))
 	}

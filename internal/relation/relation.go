@@ -110,6 +110,27 @@ func (r *Relation) Project(dims []int) *Relation {
 	return p
 }
 
+// ProjectInto is Project reusing dst's column and measure buffers when
+// their capacity suffices. dst may be nil or a relation from a previous
+// ProjectInto call; the (possibly re-allocated) destination is returned.
+// Used by experiment loops that re-project the same base relation per
+// configuration.
+func (r *Relation) ProjectInto(dst *Relation, dims []int) *Relation {
+	if dst == nil {
+		dst = &Relation{}
+	}
+	dst.names = resize(dst.names, len(dims))
+	dst.cards = resize(dst.cards, len(dims))
+	dst.cols = resize(dst.cols, len(dims))
+	for i, d := range dims {
+		dst.names[i] = r.names[d]
+		dst.cards[i] = r.cards[d]
+		dst.cols[i] = append(resize(dst.cols[i], 0), r.cols[d]...)
+	}
+	dst.meas = append(resize(dst.meas, 0), r.meas...)
+	return dst
+}
+
 // Slice returns a new relation containing rows [lo, hi) in storage order.
 func (r *Relation) Slice(lo, hi int) *Relation {
 	s := New(r.names, r.cards)
@@ -137,6 +158,44 @@ func (r *Relation) Gather(idx []int32) *Relation {
 	}
 	s.meas = meas
 	return s
+}
+
+// GatherInto is Gather reusing dst's buffers when their capacity suffices.
+// dst may be nil or a relation from a previous GatherInto call with any
+// schema; the (possibly re-allocated) destination is returned. Used by BPP
+// chunk shipping and the memory-budgeted partition loop, where the same
+// staging relation is filled once per chunk.
+func (r *Relation) GatherInto(dst *Relation, idx []int32) *Relation {
+	if dst == nil {
+		dst = &Relation{}
+	}
+	dst.names = append(resize(dst.names, 0), r.names...)
+	dst.cards = append(resize(dst.cards, 0), r.cards...)
+	dst.cols = resize(dst.cols, len(r.cols))
+	for d := range r.cols {
+		col := resize(dst.cols[d], len(idx))
+		src := r.cols[d]
+		for i, row := range idx {
+			col[i] = src[row]
+		}
+		dst.cols[d] = col
+	}
+	meas := resize(dst.meas, len(idx))
+	for i, row := range idx {
+		meas[i] = r.meas[row]
+	}
+	dst.meas = meas
+	return dst
+}
+
+// resize returns b with length n, reusing its backing array when the
+// capacity allows and allocating otherwise. New elements are zeroed only
+// when a fresh array is allocated — callers overwrite them.
+func resize[T any](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	return b[:n]
 }
 
 // SizeBytes estimates the in-memory footprint of the relation, used by the

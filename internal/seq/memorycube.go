@@ -148,11 +148,12 @@ func partitionedCubeInto(rel *relation.Relation, dims []int, cond agg.Condition,
 	if nparts > rel.Card(bd) {
 		nparts = rel.Card(bd)
 	}
+	var part *relation.Relation // fragment staging buffer, reused per chunk
 	for _, chunk := range rel.RangePartition(bd, nparts) {
 		if len(chunk) == 0 {
 			continue
 		}
-		part := rel.Gather(chunk)
+		part = rel.GatherInto(part, chunk)
 		ctr.BytesRead += part.SizeBytes()
 		memoryCubeInto(part, dims, cond, &requireBit{out: out, bit: best}, ctr)
 	}

@@ -35,9 +35,22 @@ type Recommendation struct {
 	Online    bool
 	// Reason explains the choice in the paper's terms.
 	Reason string
-	// Alternatives lists other reasonable picks, best first.
+	// Alternatives lists other reasonable picks, best first. The slice is
+	// shared across calls — treat it as read-only.
 	Alternatives []Algorithm
 }
+
+// Shared alternative lists: Recommend is called per query in recommendation
+// services, and a fresh slice per call was its only allocation. Callers
+// must treat Recommendation.Alternatives as read-only.
+var (
+	altOnline  = []Algorithm{ASL}
+	altMemory  = []Algorithm{PT}
+	altDense   = []Algorithm{ASL, PT}
+	altSmall   = []Algorithm{PT, ASL, AHT}
+	altHighDim = []Algorithm{BPP}
+	altDefault = []Algorithm{ASL, AHT}
+)
 
 // Recommend implements the paper's recipe (Fig 4.7, §4.9.1): PT is the
 // default; ASL and AHT dominate on dense cubes (AHT degrades first as
@@ -51,37 +64,37 @@ func Recommend(p Profile) Recommendation {
 		return Recommendation{
 			Online: true, Algorithm: ASL,
 			Reason:       "online support: POL (skip-list based, sampling + progressive refinement) answers while scanning; of the CUBE algorithms only ASL extends to it",
-			Alternatives: []Algorithm{ASL},
+			Alternatives: altOnline,
 		}
 	case p.MemoryConstrained:
 		return Recommendation{
 			Algorithm:    BPP,
 			Reason:       "less memory occupation: BPP partitions the data set instead of replicating it; each node only holds its chunks",
-			Alternatives: []Algorithm{PT},
+			Alternatives: altMemory,
 		}
 	case p.Dense():
 		return Recommendation{
 			Algorithm:    AHT,
 			Reason:       "dense cube (cardinality product < 10^8): AHT and ASL dominate — little pruning is available to the BUC-based algorithms and hash/skip-list stores stay compact",
-			Alternatives: []Algorithm{ASL, PT},
+			Alternatives: altDense,
 		}
 	case p.Dims > 0 && p.Dims <= 5:
 		return Recommendation{
 			Algorithm:    RP,
 			Reason:       "small dimensionality (≤5): all algorithms behave similarly and RP is the simplest to run",
-			Alternatives: []Algorithm{PT, ASL, AHT},
+			Alternatives: altSmall,
 		}
 	case p.Dims >= 11:
 		return Recommendation{
 			Algorithm:    PT,
 			Reason:       "high dimensionality: PT's pruning plus balanced binary-division tasks; ASL's long-key comparisons and AHT's starved index bits both degrade",
-			Alternatives: []Algorithm{BPP},
+			Alternatives: altHighDim,
 		}
 	default:
 		return Recommendation{
 			Algorithm:    PT,
 			Reason:       "default: PT combines bottom-up pruning with top-down affinity scheduling and is typically a constant factor faster than ASL and AHT",
-			Alternatives: []Algorithm{ASL, AHT},
+			Alternatives: altDefault,
 		}
 	}
 }
