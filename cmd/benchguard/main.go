@@ -87,15 +87,16 @@ type regression struct {
 	what string
 }
 
-// compare gates current against baseline. A benchmark missing from either
-// side is skipped (benchmarks come and go across PRs); of the repeated
-// names `-count=N` produces, the first occurrence wins.
-func compare(baseline, current []Result, allocSlack, allocGrace float64, timeSlack float64) []regression {
+// compare gates current against baseline. A benchmark present only in the
+// current snapshot is returned in missing — it is new since the baseline
+// was frozen, so it is reported as a warning rather than gated (benchmarks
+// come and go across PRs; the gate only covers names both sides know). Of
+// the repeated names `-count=N` produces, the first occurrence wins.
+func compare(baseline, current []Result, allocSlack, allocGrace float64, timeSlack float64) (regs []regression, missing []string) {
 	base := map[string]Result{}
 	for _, r := range baseline {
 		base[r.Name] = r
 	}
-	var regs []regression
 	seen := map[string]bool{}
 	for _, cur := range current {
 		if seen[cur.Name] {
@@ -104,6 +105,7 @@ func compare(baseline, current []Result, allocSlack, allocGrace float64, timeSla
 		seen[cur.Name] = true
 		b, ok := base[cur.Name]
 		if !ok {
+			missing = append(missing, cur.Name)
 			continue
 		}
 		if cur.HasMem && b.HasMem {
@@ -119,7 +121,7 @@ func compare(baseline, current []Result, allocSlack, allocGrace float64, timeSla
 				"ns/op %.0f exceeds baseline %.0f × %.2g", cur.NsPerOp, b.NsPerOp, timeSlack)})
 		}
 	}
-	return regs
+	return regs, missing
 }
 
 func main() {
@@ -182,7 +184,10 @@ func main() {
 		if err := json.Unmarshal(data, &snap); err != nil {
 			fatalf("benchguard: %s: %v", *baseline, err)
 		}
-		regs := compare(snap.Results, results, *allocSlack, *allocGrace, *timeSlack)
+		regs, missing := compare(snap.Results, results, *allocSlack, *allocGrace, *timeSlack)
+		for _, name := range missing {
+			fmt.Fprintf(os.Stderr, "benchguard: WARNING %s not in baseline %s (new benchmark, not gated)\n", name, *baseline)
+		}
 		for _, r := range regs {
 			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION %s: %s\n", r.name, r.what)
 		}

@@ -51,24 +51,44 @@ func TestCompareGatesAllocs(t *testing.T) {
 		{Name: "BenchmarkZero", NsPerOp: 50, AllocsPerOp: 60, HasMem: true}, // within grace
 		{Name: "BenchmarkNew", NsPerOp: 1, AllocsPerOp: 1 << 30, HasMem: true},
 	}
-	if regs := compare(base, cur, 1.5, 64, 0); len(regs) != 0 {
+	if regs, _ := compare(base, cur, 1.5, 64, 0); len(regs) != 0 {
 		t.Fatalf("unexpected regressions: %v", regs)
 	}
 	// Blow the alloc limit.
 	cur[0].AllocsPerOp = 2000
-	regs := compare(base, cur, 1.5, 64, 0)
+	regs, _ := compare(base, cur, 1.5, 64, 0)
 	if len(regs) != 1 || regs[0].name != "BenchmarkA" {
 		t.Fatalf("want one BenchmarkA regression, got %v", regs)
 	}
 	// Grace only stretches so far on a zero baseline.
 	cur[0].AllocsPerOp = 1400
 	cur[1].AllocsPerOp = 100
-	if regs := compare(base, cur, 1.5, 64, 0); len(regs) != 1 {
+	if regs, _ := compare(base, cur, 1.5, 64, 0); len(regs) != 1 {
 		t.Fatalf("zero-baseline regression missed: %v", regs)
 	}
 	// Opt-in wall-time gate.
-	if regs := compare(base, cur[:1], 1.5, 64, 2.0); len(regs) != 1 {
+	if regs, _ := compare(base, cur[:1], 1.5, 64, 2.0); len(regs) != 1 {
 		t.Fatalf("time gate missed 5× slowdown: %v", regs)
+	}
+}
+
+func TestCompareWarnsOnNewBenchmarks(t *testing.T) {
+	base := []Result{{Name: "BenchmarkA", AllocsPerOp: 100, HasMem: true}}
+	cur := []Result{
+		{Name: "BenchmarkA", AllocsPerOp: 100, HasMem: true},
+		// Grossly over any limit — but absent from baseline, so it must be
+		// reported as new, never as a regression.
+		{Name: "BenchmarkFigCores_PT", AllocsPerOp: 1 << 30, HasMem: true},
+		{Name: "BenchmarkFigCores_PT", AllocsPerOp: 1, HasMem: true}, // repeat: first wins
+		{Name: "BenchmarkFigCores_BPP", NsPerOp: 1e12},
+	}
+	regs, missing := compare(base, cur, 1.5, 64, 2.0)
+	if len(regs) != 0 {
+		t.Fatalf("new benchmarks must not gate, got %v", regs)
+	}
+	want := []string{"BenchmarkFigCores_PT", "BenchmarkFigCores_BPP"}
+	if len(missing) != len(want) || missing[0] != want[0] || missing[1] != want[1] {
+		t.Fatalf("missing = %v, want %v", missing, want)
 	}
 }
 
@@ -80,7 +100,7 @@ func TestCompareKeepsLastOfRepeatedRuns(t *testing.T) {
 	}
 	// -count=N emits the name N times; the gate must not double-report,
 	// and documented behaviour is first-occurrence wins per name.
-	if regs := compare(base, cur, 1.5, 64, 0); len(regs) != 0 {
+	if regs, _ := compare(base, cur, 1.5, 64, 0); len(regs) != 0 {
 		t.Fatalf("first run was clean, got %v", regs)
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 		algo      = flag.String("algo", "", "algorithm: RP, BPP, ASL, PT, AHT (default: recipe recommendation)")
 		workers   = flag.Int("workers", 8, "number of simulated cluster nodes")
 		parallel  = flag.Bool("parallel", false, "run workers on real goroutines")
+		cores     = flag.Int("cores", 1, "intra-worker execution-pool width (wall clock only; results identical)")
 		cuboid    = flag.String("cuboid", "", "print this group-by's cells (comma-separated attributes; empty = summary only)")
 		limit     = flag.Int("limit", 20, "max cells to print")
 		stats     = flag.Bool("stats", false, "print per-worker simulated loads")
@@ -68,6 +69,7 @@ func main() {
 		Algorithm:  algorithm,
 		Workers:    *workers,
 		Parallel:   *parallel,
+		Cores:      *cores,
 	})
 	if err != nil {
 		fatal(err)

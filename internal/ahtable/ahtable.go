@@ -244,7 +244,15 @@ func (t *Table) Get(key []uint32) (agg.State, bool) {
 // Scan visits every cell in unspecified (bucket) order; the callback must
 // not retain key.
 func (t *Table) Scan(fn func(key []uint32, st agg.State) bool) {
-	for _, head := range t.heads {
+	t.ScanRange(0, len(t.heads), fn)
+}
+
+// ScanRange visits the cells of buckets [lo, hi) in bucket order. Disjoint
+// ranges touch disjoint chains (a chain never leaves its bucket), so
+// concurrent ScanRange calls over a partition of the directory are safe and
+// together visit exactly the cells Scan visits, in the same per-range order.
+func (t *Table) ScanRange(lo, hi int, fn func(key []uint32, st agg.State) bool) {
+	for _, head := range t.heads[lo:hi] {
 		for e := head; e != 0; e = t.entries[e-1].next {
 			if !fn(t.entries[e-1].key, t.entries[e-1].state) {
 				return

@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
+)
+
+// Pool is a worker's intra-task execution pool: P goroutines (the task's
+// own goroutine plus P-1 spawned helpers) that execute stealable work units
+// forked by the BUC-family kernels. It is the second level of the
+// two-level parallelism scheme — ranks distribute tasks (the paper's
+// cluster), the pool spreads one task's recursion across real cores.
+//
+// Determinism contract. Everything the cost model and the sinks observe is
+// byte-identical to serial execution of the same task:
+//
+//   - Counters: every unit charges a private per-goroutine shard
+//     (Grip.Ctr); runTask folds all shards into Worker.Ctr before the
+//     task's clock advance. Counters are plain int64 totals, so the fold
+//     is order-independent and exact.
+//
+//   - Cell order: Grip.Fork gives unit 0 the parent's own sink (its cells
+//     are first in serial order and stream through live) and every later
+//     unit a private buffer; buffers replay into the parent sink in unit
+//     order after the join. The worker's single disk.Writer therefore sees
+//     the exact serial cell sequence, which keeps its stream-switch Seek
+//     accounting unchanged.
+//
+//   - Scratch arenas: each pool goroutine owns one relation.Scratch; a
+//     unit always uses the arena of the goroutine executing it, never the
+//     parent's.
+//
+// Scheduling is fork-local work stealing: the forking goroutine claims and
+// runs its own fork's units (newest work first, LIFO-style locality), while
+// idle pool goroutines steal unclaimed units from the newest registered
+// fork. A goroutine waiting on a join only executes units of *that* fork —
+// running arbitrary other units there could re-enter the scratch arena its
+// caller is still holding buffers from.
+type Pool struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	forks []*fork // active forks that may still have unclaimed units
+	stop  bool
+	wg    sync.WaitGroup
+	grips []*Grip
+}
+
+// Grip is one goroutine's handle on the pool: its counter shard and its
+// private scratch arena. Grip 0 belongs to the goroutine running the
+// worker's task; grips 1..P-1 each belong to one spawned pool goroutine.
+type Grip struct {
+	// Ctr is this goroutine's counter shard, folded into the worker's
+	// counter when the task completes (Pool.Drain).
+	Ctr cost.Counters
+	// Scratch is this goroutine's private sort/partition arena.
+	Scratch *relation.Scratch
+	pool    *Pool
+}
+
+// fork is one Fork call's unit set. Units are claimed with an atomic
+// cursor; the fork completes when every claimed unit has finished.
+type fork struct {
+	units   []func(g *Grip)
+	next    atomic.Int32 // claim cursor
+	pending atomic.Int32 // unfinished units
+	done    chan struct{}
+}
+
+func (f *fork) claim() int {
+	i := int(f.next.Add(1)) - 1
+	if i >= len(f.units) {
+		return -1
+	}
+	return i
+}
+
+func (f *fork) hasUnclaimed() bool {
+	return int(f.next.Load()) < len(f.units)
+}
+
+func (f *fork) runUnit(i int, g *Grip) {
+	f.units[i](g)
+	if f.pending.Add(-1) == 0 {
+		close(f.done)
+	}
+}
+
+// NewPool builds a pool of the given total width (cores). cores <= 1 needs
+// no pool; callers should not construct one.
+func NewPool(cores int) *Pool {
+	p := &Pool{grips: make([]*Grip, cores)}
+	p.cond = sync.NewCond(&p.mu)
+	for i := range p.grips {
+		g := &Grip{Scratch: relation.NewScratch(), pool: p}
+		// Nested parallel sorts inside a unit fork through the executing
+		// goroutine's own grip.
+		g.Scratch.SetForker(g)
+		p.grips[i] = g
+	}
+	for i := 1; i < cores; i++ {
+		p.wg.Add(1)
+		go p.work(p.grips[i])
+	}
+	return p
+}
+
+// Close stops the pool's goroutines. No Fork may be in flight.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.stop = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Drain folds every grip's counter shard into the given counter (the
+// worker's), clearing the shards. Called between a task's completion and
+// its virtual-clock advance, so per-task deltas include pool work.
+func (p *Pool) Drain(into *cost.Counters) {
+	for _, g := range p.grips {
+		into.Merge(&g.Ctr)
+	}
+}
+
+// work is the helper-goroutine loop: steal unclaimed units from the newest
+// active fork, sleep when there is nothing to steal.
+func (p *Pool) work(g *Grip) {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		if p.stop {
+			p.mu.Unlock()
+			return
+		}
+		var f *fork
+		for i := len(p.forks) - 1; i >= 0; i-- {
+			if p.forks[i].hasUnclaimed() {
+				f = p.forks[i]
+				break
+			}
+		}
+		if f == nil {
+			p.cond.Wait()
+			continue
+		}
+		p.mu.Unlock()
+		for {
+			i := f.claim()
+			if i < 0 {
+				break
+			}
+			f.runUnit(i, g)
+		}
+		p.mu.Lock()
+	}
+}
+
+// run registers the fork for stealing, has the calling goroutine claim and
+// execute units itself, and blocks until every unit has finished.
+func (g *Grip) run(f *fork) {
+	p := g.pool
+	p.mu.Lock()
+	p.forks = append(p.forks, f)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for {
+		i := f.claim()
+		if i < 0 {
+			break
+		}
+		f.runUnit(i, g)
+	}
+	p.mu.Lock()
+	for i, rf := range p.forks {
+		if rf == f {
+			p.forks = append(p.forks[:i], p.forks[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	<-f.done
+}
+
+// Fork executes n work units, possibly in parallel on the worker's pool,
+// and returns when all have completed. Each unit receives the grip of the
+// goroutine executing it (charge ug.Ctr, use ug.Scratch) and the sink its
+// cells must go to: unit 0 writes directly to out (its cells come first in
+// serial order), units 1..n-1 write to private buffers replayed into out in
+// unit order after the join. Callers therefore preserve the serial cell
+// sequence by forking units in serial emission order.
+func (g *Grip) Fork(n int, out disk.CellSink, unit func(i int, ug *Grip, uout disk.CellSink)) {
+	switch {
+	case n <= 0:
+		return
+	case n == 1:
+		unit(0, g, out)
+		return
+	}
+	bufs := make([]cellBuf, n-1)
+	f := &fork{units: make([]func(*Grip), n), done: make(chan struct{})}
+	f.pending.Store(int32(n))
+	f.units[0] = func(ug *Grip) { unit(0, ug, out) }
+	for i := 1; i < n; i++ {
+		i := i
+		f.units[i] = func(ug *Grip) { unit(i, ug, &bufs[i-1]) }
+	}
+	g.run(f)
+	for i := range bufs {
+		bufs[i].replay(out)
+	}
+}
+
+// ForkJoin implements relation.Forker: n data-parallel units over
+// caller-owned buffers, no cell output, no per-unit grip (the units charge
+// nothing — the caller charges the serial totals).
+func (g *Grip) ForkJoin(n int, unit func(i int)) {
+	switch {
+	case n <= 0:
+		return
+	case n == 1:
+		unit(0)
+		return
+	}
+	f := &fork{units: make([]func(*Grip), n), done: make(chan struct{})}
+	f.pending.Store(int32(n))
+	for i := 0; i < n; i++ {
+		i := i
+		f.units[i] = func(*Grip) { unit(i) }
+	}
+	g.run(f)
+}
+
+// Width implements relation.Forker: the pool's total goroutine count.
+func (g *Grip) Width() int { return len(g.pool.grips) }
+
+// cellBuf buffers one fork unit's cell output for ordered replay. Like
+// Stage, it copies keys into a contiguous arena so callers may reuse their
+// key buffers.
+type cellBuf struct {
+	cells []stagedCell
+	keys  []uint32
+}
+
+func (b *cellBuf) WriteCell(m lattice.Mask, key []uint32, st agg.State) {
+	off := len(b.keys)
+	b.keys = append(b.keys, key...)
+	b.cells = append(b.cells, stagedCell{mask: m, key: b.keys[off : off+len(key) : off+len(key)], st: st})
+}
+
+func (b *cellBuf) replay(dst disk.CellSink) {
+	for _, c := range b.cells {
+		dst.WriteCell(c.mask, c.key, c.st)
+	}
+	b.cells, b.keys = nil, nil
+}
+
+// AttachPools gives every worker an intra-task pool of the given width and
+// returns a release function that drains and stops them. cores <= 1 is a
+// no-op (serial task bodies), so callers can pass the configured value
+// through unconditionally.
+func AttachPools(workers []*Worker, cores int) (release func()) {
+	if cores <= 1 {
+		return func() {}
+	}
+	for _, w := range workers {
+		w.AttachPool(cores)
+	}
+	return func() {
+		for _, w := range workers {
+			w.ClosePool()
+		}
+	}
+}
+
+// RunParallelCores is the two-level runner: rank-level scheduling stays in
+// RunVirtual's deterministic virtual-time order — the affinity schedulers
+// (PT/ASL/AHT) make assignment decisions from worker state, so any change
+// to dispatch order would change task placement and therefore totals — and
+// each worker owns a pool of `cores` goroutines that parallelize the task
+// *bodies*. Task assignment, per-worker counters, virtual clocks, and cube
+// output are byte-identical to RunVirtual for every cores value; real wall
+// clock scales with the intra-task parallelism of the kernels.
+func RunParallelCores(workers []*Worker, sched Scheduler, cores int) []TaskFailure {
+	release := AttachPools(workers, cores)
+	defer release()
+	return RunVirtual(workers, sched)
+}

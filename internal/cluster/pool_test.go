@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/lattice"
+)
+
+// recordSink records the exact cell sequence it receives.
+type recordSink struct {
+	masks []lattice.Mask
+	keys  [][]uint32
+}
+
+func (r *recordSink) WriteCell(m lattice.Mask, key []uint32, _ agg.State) {
+	r.masks = append(r.masks, m)
+	r.keys = append(r.keys, append([]uint32(nil), key...))
+}
+
+var _ disk.CellSink = (*recordSink)(nil)
+
+// TestForkOrderedReplay: cells from forked units must reach the parent sink
+// in unit order — the serial emission sequence — for every pool width.
+func TestForkOrderedReplay(t *testing.T) {
+	for _, cores := range []int{2, 3, 8} {
+		t.Run(fmt.Sprintf("cores=%d", cores), func(t *testing.T) {
+			p := NewPool(cores)
+			defer p.Close()
+			out := &recordSink{}
+			const n = 17
+			p.grips[0].Fork(n, out, func(i int, ug *Grip, uout disk.CellSink) {
+				// Two cells per unit: order within a unit must hold too.
+				uout.WriteCell(lattice.Mask(i), []uint32{uint32(2 * i)}, agg.State{})
+				uout.WriteCell(lattice.Mask(i), []uint32{uint32(2*i + 1)}, agg.State{})
+			})
+			if len(out.masks) != 2*n {
+				t.Fatalf("got %d cells, want %d", len(out.masks), 2*n)
+			}
+			for i := 0; i < 2*n; i++ {
+				if out.masks[i] != lattice.Mask(i/2) || out.keys[i][0] != uint32(i) {
+					t.Fatalf("cell %d out of order: mask=%d key=%d", i, out.masks[i], out.keys[i][0])
+				}
+			}
+		})
+	}
+}
+
+// TestForkNested: forks inside fork units must complete without deadlock and
+// still replay in depth-first serial order.
+func TestForkNested(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	out := &recordSink{}
+	p.grips[0].Fork(3, out, func(i int, ug *Grip, uout disk.CellSink) {
+		uout.WriteCell(lattice.Mask(i), []uint32{uint32(100 * i)}, agg.State{})
+		ug.Fork(3, uout, func(j int, _ *Grip, jout disk.CellSink) {
+			jout.WriteCell(lattice.Mask(i), []uint32{uint32(100*i + j + 1)}, agg.State{})
+		})
+	})
+	if len(out.keys) != 12 {
+		t.Fatalf("got %d cells, want 12", len(out.keys))
+	}
+	want := []uint32{0, 1, 2, 3, 100, 101, 102, 103, 200, 201, 202, 203}
+	for i, w := range want {
+		if out.keys[i][0] != w {
+			t.Fatalf("cell %d = %d, want %d (depth-first serial order)", i, out.keys[i][0], w)
+		}
+	}
+}
+
+// TestDrainFoldsShards: unit charges land on per-goroutine shards and Drain
+// folds them exactly into the target, clearing the shards.
+func TestDrainFoldsShards(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	out := &recordSink{}
+	const n = 64
+	p.grips[0].Fork(n, out, func(i int, ug *Grip, _ disk.CellSink) {
+		ug.Ctr.Compares += int64(i)
+	})
+	var total cost.Counters
+	p.Drain(&total)
+	if want := int64(n * (n - 1) / 2); total.Compares != want {
+		t.Fatalf("drained Compares = %d, want %d", total.Compares, want)
+	}
+	var again cost.Counters
+	p.Drain(&again)
+	if again != (cost.Counters{}) {
+		t.Fatalf("shards not cleared by Drain: %+v", again)
+	}
+}
+
+// TestForkJoinCoversAllUnits: the data-parallel join must run every unit
+// exactly once before returning.
+func TestForkJoinCoversAllUnits(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	const n = 100
+	var hits [n]atomic.Int32
+	p.grips[0].ForkJoin(n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("unit %d ran %d times", i, got)
+		}
+	}
+}
+
+// TestAttachPoolsNoop: cores <= 1 must not build pools, and the release
+// function must be callable.
+func TestAttachPoolsNoop(t *testing.T) {
+	workers := NewWorkers(cost.BaselineCluster(2), 2, nil)
+	release := AttachPools(workers, 1)
+	release()
+	for _, w := range workers {
+		if w.Grip() != nil {
+			t.Fatal("cores=1 should not attach a pool")
+		}
+	}
+	release = AttachPools(workers, 4)
+	for _, w := range workers {
+		if w.Grip() == nil || w.Grip().Width() != 4 {
+			t.Fatal("cores=4 should attach a width-4 pool")
+		}
+	}
+	release()
+	for _, w := range workers {
+		if w.Grip() != nil {
+			t.Fatal("release should detach pools")
+		}
+	}
+}
+
+// TestRunParallelCoresMatchesVirtual: the two-level runner must reproduce
+// RunVirtual's clocks and counters exactly for any width, including when
+// task bodies fork.
+func TestRunParallelCoresMatchesVirtual(t *testing.T) {
+	build := func() ([]*Worker, Scheduler) {
+		tasks := make([]*Task, 0, 12)
+		for k := 0; k < 12; k++ {
+			k := k
+			tasks = append(tasks, &Task{Label: fmt.Sprintf("t%d", k), Run: func(w *Worker) error {
+				if g := w.Grip(); g != nil {
+					g.Fork(8, w.StageTo(nil), func(i int, ug *Grip, _ disk.CellSink) {
+						ug.Ctr.Compares += int64(1000*k + i)
+					})
+				} else {
+					for i := 0; i < 8; i++ {
+						w.Ctr.Compares += int64(1000*k + i)
+					}
+				}
+				return nil
+			}})
+		}
+		sched := NewQueueScheduler(3)
+		sched.AssignRoundRobin(tasks)
+		return NewWorkers(cost.BaselineCluster(3), 3, nil), sched
+	}
+
+	wv, sv := build()
+	RunVirtual(wv, sv)
+	for _, cores := range []int{2, 4} {
+		wc, sc := build()
+		if failures := RunParallelCores(wc, sc, cores); len(failures) != 0 {
+			t.Fatalf("cores=%d: failures %v", cores, failures)
+		}
+		for i := range wv {
+			if wv[i].Ctr != wc[i].Ctr {
+				t.Fatalf("cores=%d worker %d counters differ:\nvirtual %+v\ncores   %+v", cores, i, wv[i].Ctr, wc[i].Ctr)
+			}
+			if wv[i].Clock != wc[i].Clock {
+				t.Fatalf("cores=%d worker %d clock %v != %v", cores, i, wc[i].Clock, wv[i].Clock)
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cluster"
+	"icebergcube/internal/results"
+)
+
+// coresRel is big enough that BUC/BPP-BUC recursion crosses bucForkCutoff
+// and actually forks, so the equivalence tests exercise real pool activity.
+func coresRel() ([]int, *Run) {
+	rel := testRel(4000, 5, 71)
+	dims := allDims(rel)
+	return dims, &Run{Rel: rel, Dims: dims, Cond: agg.MinSupport(2), Seed: 42}
+}
+
+// TestCoresEquivalence: for every algorithm, running with an intra-worker
+// execution pool of any width must leave every observable byte-identical to
+// the serial virtual-time run — per-worker counters and clocks, makespan,
+// totals, I/O seconds — and the cube must still match the brute-force
+// oracle.
+func TestCoresEquivalence(t *testing.T) {
+	dims, base := coresRel()
+	want := NaiveCube(base.Rel, dims, base.Cond)
+	for _, name := range algoNames {
+		for _, workers := range []int{1, 3} {
+			run := *base
+			run.Workers = workers
+			ref := runAlgo(t, name, run)
+			for _, cores := range []int{2, 4} {
+				t.Run(fmt.Sprintf("%s/w%d/c%d", name, workers, cores), func(t *testing.T) {
+					got := results.NewSet()
+					run := *base
+					run.Workers = workers
+					run.Cores = cores
+					run.Sink = got
+					rep := runAlgo(t, name, run)
+					if diff := want.Diff(got); diff != "" {
+						t.Fatalf("cube differs from naive: %s", diff)
+					}
+					if rep.Makespan != ref.Makespan {
+						t.Fatalf("makespan %v != serial %v", rep.Makespan, ref.Makespan)
+					}
+					if rep.Totals() != ref.Totals() {
+						t.Fatalf("totals differ:\ncores  %+v\nserial %+v", rep.Totals(), ref.Totals())
+					}
+					if rep.IOSeconds() != ref.IOSeconds() {
+						t.Fatalf("IOSeconds %v != serial %v", rep.IOSeconds(), ref.IOSeconds())
+					}
+					for i := range rep.Workers {
+						if rep.Workers[i].Ctr != ref.Workers[i].Ctr {
+							t.Fatalf("worker %d counters differ:\ncores  %+v\nserial %+v", i, rep.Workers[i].Ctr, ref.Workers[i].Ctr)
+						}
+						if rep.Workers[i].Clock != ref.Workers[i].Clock {
+							t.Fatalf("worker %d clock %v != serial %v", i, rep.Workers[i].Clock, ref.Workers[i].Clock)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCoresEquivalenceUnderChaos: the pool composes with the fault-tolerant
+// runner — a fixed chaos plan (one death, one straggler) must produce the
+// same report and the same cube for every pool width.
+func TestCoresEquivalenceUnderChaos(t *testing.T) {
+	dims, base := coresRel()
+	want := NaiveCube(base.Rel, dims, base.Cond)
+	plan := &cluster.ChaosPlan{
+		KillAfterTasks: map[int]int{1: 1},
+		SlowFactor:     map[int]float64{0: 2.0},
+	}
+	for _, name := range algoNames {
+		t.Run(name, func(t *testing.T) {
+			var ref *Report
+			for _, cores := range []int{1, 4} {
+				got := results.NewSet()
+				run := *base
+				run.Workers = 3
+				run.Cores = cores
+				run.Sink = got
+				run.Chaos = plan
+				rep := runAlgo(t, name, run)
+				if diff := want.Diff(got); diff != "" {
+					t.Fatalf("cores=%d: cube under chaos differs from naive: %s", cores, diff)
+				}
+				if cores == 1 {
+					ref = rep
+					continue
+				}
+				if rep.Makespan != ref.Makespan {
+					t.Fatalf("cores=%d makespan %v != cores=1 %v", cores, rep.Makespan, ref.Makespan)
+				}
+				if rep.Totals() != ref.Totals() {
+					t.Fatalf("cores=%d totals differ from cores=1:\n%+v\n%+v", cores, rep.Totals(), ref.Totals())
+				}
+				if len(rep.Chaos.Killed) != len(ref.Chaos.Killed) || rep.Chaos.Reassigned != ref.Chaos.Reassigned {
+					t.Fatalf("cores=%d chaos report differs: %+v vs %+v", cores, rep.Chaos, ref.Chaos)
+				}
+			}
+		})
+	}
+}
+
+// TestCoresWithParallelRunner: pools compose with the goroutine-per-worker
+// runner. Cube output must match the oracle for every algorithm; totals are
+// additionally byte-identical to the virtual runner wherever rank-level
+// dispatch order cannot differ — the static-queue algorithms (RP, BPP) at
+// any worker count, and every algorithm at workers=1.
+func TestCoresWithParallelRunner(t *testing.T) {
+	dims, base := coresRel()
+	want := NaiveCube(base.Rel, dims, base.Cond)
+	for _, name := range algoNames {
+		for _, workers := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/w%d", name, workers), func(t *testing.T) {
+				got := results.NewSet()
+				run := *base
+				run.Workers = workers
+				run.Cores = 4
+				run.Parallel = true
+				run.Sink = got
+				rep := runAlgo(t, name, run)
+				if diff := want.Diff(got); diff != "" {
+					t.Fatalf("cube differs from naive: %s", diff)
+				}
+				if name == "RP" || name == "BPP" || workers == 1 {
+					vrun := *base
+					vrun.Workers = workers
+					ref := runAlgo(t, name, vrun)
+					if rep.Totals() != ref.Totals() {
+						t.Fatalf("totals differ from virtual runner:\nparallel %+v\nvirtual  %+v", rep.Totals(), ref.Totals())
+					}
+					if rep.IOSeconds() != ref.IOSeconds() {
+						t.Fatalf("IOSeconds %v != virtual %v", rep.IOSeconds(), ref.IOSeconds())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelRunnerStress floods the goroutine-per-worker runner with many
+// small tasks on every algorithm while intra-task pools are attached — the
+// -race CI leg uses this to hammer the scheduler lock split (sched.Next
+// under schedMu only), concurrent Stage appends, and pool hand-off.
+func TestParallelRunnerStress(t *testing.T) {
+	rel := testRel(2000, 6, 19)
+	dims := allDims(rel)
+	want := NaiveCube(rel, dims, agg.MinSupport(2))
+	for _, name := range algoNames {
+		t.Run(name, func(t *testing.T) {
+			got := results.NewSet()
+			runAlgo(t, name, Run{
+				Rel: rel, Dims: dims,
+				Cond:      agg.MinSupport(2),
+				Workers:   8,
+				TaskRatio: 8, // many small PT tasks
+				Cores:     2,
+				Parallel:  true,
+				Sink:      got,
+				Seed:      42,
+			})
+			if diff := want.Diff(got); diff != "" {
+				t.Fatalf("%s stressed output differs: %s", name, diff)
+			}
+		})
+	}
+}

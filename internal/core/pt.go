@@ -88,8 +88,9 @@ func (s *ptScheduler) Next(w *cluster.Worker) *cluster.Task {
 func ptCompute(run Run, w *cluster.Worker, t *lattice.Subtree) {
 	st := w.State.(*ptState)
 	ensureReplica(w, &st.loaded, &st.view, run)
+	g := bindPool(w, st.scratch)
 	st.sortOrder = SortForRootScratch(run.Rel, st.view, run.Dims, st.sortOrder, t.Root, &w.Ctr, st.scratch)
-	RunSubtreeScratch(run.Rel, st.view, run.Dims, t, run.Cond, st.out, &w.Ctr, st.scratch)
+	RunSubtreeGrip(run.Rel, st.view, run.Dims, t, run.Cond, st.out, &w.Ctr, st.scratch, g)
 	st.prevRoot = t.Root
 	st.hasPrev = true
 }

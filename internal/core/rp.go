@@ -49,7 +49,8 @@ func RP(run Run) (*Report, error) {
 			Run: func(w *cluster.Worker) error {
 				s := w.State.(*rpState)
 				ensureReplica(w, &s.loaded, &s.view, run)
-				BUCSubtreeScratch(rel, s.view, dims, p, cond, s.out, &w.Ctr, s.scratch)
+				g := bindPool(w, s.scratch)
+				BUCSubtreeGrip(rel, s.view, dims, p, cond, s.out, &w.Ctr, s.scratch, g)
 				return nil
 			},
 		})

@@ -41,6 +41,11 @@ type Run struct {
 	// Parallel selects the goroutine-per-worker runner instead of the
 	// deterministic virtual-time runner.
 	Parallel bool
+	// Cores is the intra-worker execution-pool width: each worker's task
+	// bodies fork across this many goroutines (two-level parallelism).
+	// <= 1 runs task bodies serially. Reports and cube output are
+	// byte-identical for every Cores value; only real wall clock changes.
+	Cores int
 	// Seed feeds the skip lists' level coins and any sampling.
 	Seed int64
 	// TaskRatio is PT's tasks-per-worker division stop parameter; the
@@ -99,6 +104,9 @@ func (r *Run) normalize() error {
 	}
 	if r.TaskRatio <= 0 {
 		r.TaskRatio = 32
+	}
+	if r.Cores <= 0 {
+		r.Cores = 1
 	}
 	return nil
 }
@@ -165,8 +173,13 @@ func (r *Report) NetSeconds() float64 {
 	return total
 }
 
-// run drives the scheduler with the configured runner.
+// run drives the scheduler with the configured runner. Pools attach before
+// and release after whichever runner executes, so Cores composes with the
+// virtual, parallel, and chaos runners alike (Cores>1 without Parallel or
+// Chaos is exactly cluster.RunParallelCores).
 func (r *Run) run(workers []*cluster.Worker, sched cluster.Scheduler) (*cluster.ChaosReport, []cluster.TaskFailure) {
+	release := cluster.AttachPools(workers, r.Cores)
+	defer release()
 	if r.Chaos != nil {
 		return cluster.RunChaos(workers, sched, *r.Chaos)
 	}
@@ -209,4 +222,19 @@ func writeAll(rel *relation.Relation, view []int32, cond agg.Condition, out *dis
 // the data set.
 func chargeLoad(w *cluster.Worker, rel *relation.Relation) {
 	w.Ctr.BytesRead += rel.SizeBytes()
+}
+
+// bindPool connects the worker's execution pool (if any) to the task's
+// scratch arena — enabling the parallel sort/partition paths — and returns
+// the grip the kernels fork through (nil = serial task body). Task bodies
+// call this every execution because pools may attach or detach between
+// runs of the same worker set.
+func bindPool(w *cluster.Worker, s *relation.Scratch) *cluster.Grip {
+	g := w.Grip()
+	if g == nil {
+		s.SetForker(nil)
+		return nil
+	}
+	s.SetForker(g)
+	return g
 }

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// coresSweep is the pool-width axis of the two-level-parallelism experiment.
+var coresSweep = []int{1, 2, 4, 8}
+
+// coresAlgorithms are the algorithms whose task bodies fork aggressively
+// enough to show intra-worker scaling (the BUC-family kernels). ASL and AHT
+// parallelize only their sorts and emission scans, so they are reported by
+// the same experiment but not gated on.
+var coresAlgorithms = []string{"PT", "BPP"}
+
+// Cores — real wall-clock speedup from intra-worker execution pools. Unlike
+// every other experiment (which plots *virtual* time from the cost model),
+// this one measures host wall clock: the virtual-time reports are
+// byte-identical for every pool width by construction, so the only
+// observable effect of Cores is how fast the simulation itself runs. Y is
+// the speedup over cores=1 at the same configuration.
+func Cores(c Config) (*Table, error) {
+	c = c.withDefaults()
+	rel, dims := workload(c)
+	t := &Table{
+		ID:     "cores",
+		Title:  "Two-level parallelism: wall-clock speedup vs intra-worker cores",
+		XLabel: "cores",
+		YLabel: "speedup over cores=1",
+	}
+	for _, name := range coresAlgorithms {
+		t.Series = append(t.Series, Series{Name: name})
+	}
+	base := make([]float64, len(coresAlgorithms))
+	var refMakespan []float64
+	for _, cores := range coresSweep {
+		var makespans []float64
+		for i, name := range coresAlgorithms {
+			run := baselineRun(c, rel, dims)
+			run.Cores = cores
+			start := time.Now()
+			rep, err := runCube(name, run)
+			if err != nil {
+				return nil, err
+			}
+			wall := time.Since(start).Seconds()
+			if cores == coresSweep[0] {
+				base[i] = wall
+			}
+			makespans = append(makespans, rep.Makespan)
+			t.Series[i].Points = append(t.Series[i].Points, Point{X: float64(cores), Y: base[i] / wall})
+		}
+		// The determinism contract, checked live: pool width must not move
+		// a single virtual-time makespan.
+		if refMakespan == nil {
+			refMakespan = makespans
+		} else {
+			for i := range makespans {
+				if makespans[i] != refMakespan[i] {
+					return nil, fmt.Errorf("exp: cores=%d changed %s virtual makespan %v -> %v",
+						cores, coresAlgorithms[i], refMakespan[i], makespans[i])
+				}
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("host GOMAXPROCS=%d; virtual-time makespans verified identical across all widths", runtime.GOMAXPROCS(0)))
+	return t, nil
+}

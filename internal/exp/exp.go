@@ -32,6 +32,10 @@ type Config struct {
 	Dims int
 	// Seed fixes the synthetic data (default 2001).
 	Seed int64
+	// Cores is the intra-worker execution-pool width (default 1: serial
+	// task bodies). Virtual-time results are identical for every value;
+	// only real wall clock changes — the "cores" experiment measures it.
+	Cores int
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +144,7 @@ func baselineRun(c Config, rel *relation.Relation, dims []int) core.Run {
 		Cond:    agg.MinSupport(c.MinSup),
 		Workers: c.Workers,
 		Cluster: cost.BaselineCluster(c.Workers),
+		Cores:   c.Cores,
 		Seed:    c.Seed,
 	}
 }

@@ -133,8 +133,8 @@ func TestRowDuplication(t *testing.T) {
 }
 
 // TestWorkerInvariance: metamorphic property 4 — the cube must be
-// independent of worker count (1..16), runner choice, seed, and task
-// ratio, for every algorithm.
+// independent of worker count (1..16), runner choice, intra-worker pool
+// width, seed, and task ratio, for every algorithm.
 func TestWorkerInvariance(t *testing.T) {
 	var variants []WorkerVariant
 	for w := 1; w <= 16; w++ {
@@ -145,6 +145,8 @@ func TestWorkerInvariance(t *testing.T) {
 			WorkerVariant{Workers: w, Parallel: true, Seed: 99},
 			WorkerVariant{Workers: w, TaskRatio: 7, Seed: 7},
 			WorkerVariant{Workers: w, Parallel: true, TaskRatio: 3, Seed: 1234},
+			WorkerVariant{Workers: w, Cores: 4, Seed: 99},
+			WorkerVariant{Workers: w, Parallel: true, Cores: 2, Seed: 99},
 		)
 	}
 	for _, a := range Algorithms() {

@@ -1,0 +1,198 @@
+package relation
+
+// Parallel sort/partition paths. When a Scratch carries a Forker (installed
+// by the intra-worker execution pool, see internal/cluster), views above
+// parSortCutoff histogram and scatter in parallel segments. The kernels are
+// constructed so the *result* — the permutation of idx, the run bounds, and
+// the comparison charge — is byte-identical to the serial kernels:
+//
+//   - each segment builds a private histogram into one contiguous matrix
+//     (no sharing, no atomics);
+//   - a serial merge pass turns the matrix into per-(segment,value) start
+//     cursors: value v's global range begins at the serial cumulative
+//     count, and within v the segments scatter in segment order, which is
+//     exactly the stable order the serial scan produces;
+//   - the caller charges the serial comparison count (one per element per
+//     executed pass), so the cost model cannot see the segmentation.
+//
+// The units are pure closures over caller-owned buffers: they never touch
+// another goroutine's Scratch, so the one-arena-per-goroutine ownership
+// rule is preserved.
+
+// Forker executes n independent units, possibly concurrently, returning
+// only when all have completed. Implementations must run every unit exactly
+// once; units must not assume any execution order. The intra-worker pool's
+// Grip implements this interface.
+type Forker interface {
+	ForkJoin(n int, unit func(i int))
+	// Width is the maximum useful concurrency (the pool size).
+	Width() int
+}
+
+const (
+	// parSortCutoff is the view size below which segmented sorting costs
+	// more in fork overhead than it saves.
+	parSortCutoff = 8192
+	// minParSegment bounds segment shrinkage: a segment smaller than this
+	// is not worth a work unit.
+	minParSegment = 2048
+)
+
+// parSegments returns the segment count the parallel kernels would use for
+// an n-row view on this scratch's forker; 0 or 1 means "stay serial".
+func (s *Scratch) parSegments(n int) int {
+	if s == nil || s.forker == nil || n < parSortCutoff {
+		return 0
+	}
+	nseg := s.forker.Width()
+	if nseg > n/minParSegment {
+		nseg = n / minParSegment
+	}
+	return nseg
+}
+
+// segRange returns segment si's half-open row range for n rows split into
+// ceil(n/segLen) segments.
+func segRange(si, segLen, n int) (int, int) {
+	lo := si * segLen
+	hi := lo + segLen
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// countingSortPar is countingSort with parallel histogramming and a
+// stability-preserving parallel scatter. nseg >= 2; the caller has checked
+// that the nseg×card cursor matrix is within the counting-sort space
+// budget. Results and charges are identical to countingSort.
+func (r *Relation) countingSortPar(idx []int32, d int, ctr CompareCounter, s *Scratch, needBounds bool, nseg int) []int {
+	f := s.forker
+	col := r.cols[d]
+	card := r.cards[d]
+	n := len(idx)
+	segLen := (n + nseg - 1) / nseg
+	hist := s.Int32s(nseg * card)[:nseg*card]
+	clear(hist)
+	f.ForkJoin(nseg, func(si int) {
+		lo, hi := segRange(si, segLen, n)
+		h := hist[si*card : (si+1)*card]
+		for _, row := range idx[lo:hi] {
+			h[col[row]]++
+		}
+	})
+	// Merge: counts[v] becomes the serial cumulative start of value v (the
+	// same array countingSort produces, reused for bounds), and the matrix
+	// rows become per-(segment,value) scatter cursors.
+	counts := s.countsBuf(card + 1)
+	cum := int32(0)
+	for v := 0; v < card; v++ {
+		counts[v] = cum
+		for si := 0; si < nseg; si++ {
+			c := hist[si*card+v]
+			hist[si*card+v] = cum
+			cum += c
+		}
+	}
+	counts[card] = cum
+	out := s.outBuf(n)
+	f.ForkJoin(nseg, func(si int) {
+		lo, hi := segRange(si, segLen, n)
+		pos := hist[si*card : (si+1)*card]
+		for _, row := range idx[lo:hi] {
+			v := col[row]
+			p := pos[v]
+			pos[v] = p + 1
+			out[p] = row
+		}
+	})
+	copy(idx, out)
+	ctr.AddCompares(int64(n))
+	s.PutInt32s(hist[:0])
+
+	if !needBounds {
+		return nil
+	}
+	bounds := s.Ints(16)
+	prev := int32(-1)
+	for v := 0; v <= card; v++ {
+		if counts[v] != prev {
+			bounds = append(bounds, int(counts[v]))
+			prev = counts[v]
+		}
+	}
+	return bounds
+}
+
+// radixSortByColPar is radixSortByCol with parallel per-pass histograms and
+// scatters. The constant-byte skip decision and the per-pass comparison
+// charge are computed from the merged histogram, so they match the serial
+// kernel exactly.
+func radixSortByColPar(idx []int32, col []uint32, maxv uint32, ctr CompareCounter, s *Scratch, nseg int) {
+	f := s.forker
+	n := len(idx)
+	segLen := (n + nseg - 1) / nseg
+	keys, tmpKeys := s.keyBufs(n)
+	tmpIdx := s.outBuf(n)
+	f.ForkJoin(nseg, func(si int) {
+		lo, hi := segRange(si, segLen, n)
+		for i := lo; i < hi; i++ {
+			keys[i] = col[idx[i]]
+		}
+	})
+	src, dst := idx, tmpIdx
+	ksrc, kdst := keys, tmpKeys
+	hist := s.Int32s(nseg * 256)[:nseg*256]
+	var passes int64
+	for shift := uint(0); shift < 32; shift += 8 {
+		if shift > 0 && maxv>>shift == 0 {
+			break
+		}
+		clear(hist)
+		ks := ksrc
+		f.ForkJoin(nseg, func(si int) {
+			lo, hi := segRange(si, segLen, n)
+			h := hist[si*256 : (si+1)*256]
+			for _, k := range ks[lo:hi] {
+				h[(k>>shift)&0xff]++
+			}
+		})
+		// A constant byte leaves the order unchanged: skip the scatter.
+		b0 := int((ksrc[0] >> shift) & 0xff)
+		totalB0 := int32(0)
+		for si := 0; si < nseg; si++ {
+			totalB0 += hist[si*256+b0]
+		}
+		if totalB0 == int32(n) {
+			continue
+		}
+		passes++
+		cum := int32(0)
+		for b := 0; b < 256; b++ {
+			for si := 0; si < nseg; si++ {
+				c := hist[si*256+b]
+				hist[si*256+b] = cum
+				cum += c
+			}
+		}
+		sSrc, sDst, kSrc, kDst := src, dst, ksrc, kdst
+		f.ForkJoin(nseg, func(si int) {
+			lo, hi := segRange(si, segLen, n)
+			pos := hist[si*256 : (si+1)*256]
+			for i := lo; i < hi; i++ {
+				b := (kSrc[i] >> shift) & 0xff
+				p := pos[b]
+				pos[b] = p + 1
+				sDst[p] = sSrc[i]
+				kDst[p] = kSrc[i]
+			}
+		})
+		src, dst = dst, src
+		ksrc, kdst = kdst, ksrc
+	}
+	s.PutInt32s(hist[:0])
+	if &src[0] != &idx[0] {
+		copy(idx, src)
+	}
+	ctr.AddCompares(int64(n) * passes)
+}

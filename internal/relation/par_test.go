@@ -1,0 +1,128 @@
+package relation
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// goForker runs units on plain goroutines — the test stand-in for the
+// intra-worker pool's Grip.
+type goForker struct{ width int }
+
+func (f goForker) ForkJoin(n int, unit func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			unit(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (f goForker) Width() int { return f.width }
+
+type tally struct{ n int64 }
+
+func (t *tally) AddCompares(n int64) { t.n += n }
+
+// parRel is large enough to cross parSortCutoff on the full view and on the
+// major runs of the recursion. Cards cover both kernels: counting sort
+// (small card) and LSD radix (card ≫ 4·n).
+func parRel() *Relation {
+	return randomRel(31, 30000, []int{6, 200000, 40, 3})
+}
+
+// TestParallelSortByteIdentical: a Scratch carrying a Forker must produce
+// exactly the serial permutation and exactly the serial comparison charge,
+// for every pool width.
+func TestParallelSortByteIdentical(t *testing.T) {
+	r := parRel()
+	dimOrders := [][]int{
+		{0, 1, 2, 3}, // counting → radix → counting → counting
+		{1, 0},       // radix first
+		{2},          // parallel counting only
+		{1},          // parallel radix only
+	}
+	for _, dims := range dimOrders {
+		serial := r.Identity()
+		var serialCtr tally
+		r.SortViewScratch(serial, dims, &serialCtr, NewScratch())
+		for _, width := range []int{2, 3, 8} {
+			t.Run(fmt.Sprintf("dims=%v/width=%d", dims, width), func(t *testing.T) {
+				s := NewScratch()
+				s.SetForker(goForker{width})
+				idx := r.Identity()
+				var ctr tally
+				r.SortViewScratch(idx, dims, &ctr, s)
+				if ctr.n != serialCtr.n {
+					t.Fatalf("parallel charge %d != serial %d", ctr.n, serialCtr.n)
+				}
+				for i := range idx {
+					if idx[i] != serial[i] {
+						t.Fatalf("permutation diverges at %d: %d != %d", i, idx[i], serial[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelPartitionBoundsIdentical: PartitionViewScratch must return the
+// same run bounds, permutation and charge with and without a forker.
+func TestParallelPartitionBoundsIdentical(t *testing.T) {
+	r := parRel()
+	for d := 0; d < r.NumDims(); d++ {
+		serial := r.Identity()
+		var serialCtr tally
+		ss := NewScratch()
+		serialBounds := append([]int(nil), r.PartitionViewScratch(serial, d, &serialCtr, ss)...)
+
+		s := NewScratch()
+		s.SetForker(goForker{4})
+		idx := r.Identity()
+		var ctr tally
+		bounds := r.PartitionViewScratch(idx, d, &ctr, s)
+		if ctr.n != serialCtr.n {
+			t.Fatalf("d=%d: charge %d != serial %d", d, ctr.n, serialCtr.n)
+		}
+		if len(bounds) != len(serialBounds) {
+			t.Fatalf("d=%d: %d bounds != serial %d", d, len(bounds), len(serialBounds))
+		}
+		for i := range bounds {
+			if bounds[i] != serialBounds[i] {
+				t.Fatalf("d=%d: bound %d = %d, serial %d", d, i, bounds[i], serialBounds[i])
+			}
+		}
+		for i := range idx {
+			if idx[i] != serial[i] {
+				t.Fatalf("d=%d: permutation diverges at %d", d, i)
+			}
+		}
+	}
+}
+
+// TestParSegmentsGating: small views and forkerless scratches must stay
+// serial, and segment counts must respect the minimum segment size.
+func TestParSegmentsGating(t *testing.T) {
+	var nilScratch *Scratch
+	if nilScratch.parSegments(100000) != 0 {
+		t.Fatal("nil scratch must be serial")
+	}
+	s := NewScratch()
+	if s.parSegments(100000) != 0 {
+		t.Fatal("forkerless scratch must be serial")
+	}
+	s.SetForker(goForker{8})
+	if got := s.parSegments(parSortCutoff - 1); got != 0 {
+		t.Fatalf("below cutoff: got %d segments, want 0", got)
+	}
+	if got := s.parSegments(8 * minParSegment); got != 8 {
+		t.Fatalf("wide view: got %d segments, want 8", got)
+	}
+	if got := s.parSegments(4 * minParSegment); got != 4 {
+		t.Fatalf("segment floor: got %d segments, want 4", got)
+	}
+}
