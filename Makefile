@@ -3,7 +3,7 @@
 FUZZTIME ?= 30s
 FUZZ_TARGETS := FuzzDifferential FuzzMetamorphic FuzzHashTree FuzzEncodeRoundTrip FuzzSortKernel
 
-.PHONY: build vet test short race chaos fuzz corpus bench-smoke
+.PHONY: build vet test short race chaos fuzz corpus serve-smoke bench-smoke
 
 # The chaos suite: fault injection, failure detection and recovery tests
 # across the transport, scheduler, distributed-cube and POL layers. Every
@@ -45,10 +45,20 @@ fuzz:
 corpus:
 	go run ./internal/oracle/gencorpus
 
+# The serving layer's correctness surface under -race: the internal/serve
+# unit suite (cache invariants, singleflight, ancestor selection), the
+# root-package differential oracle (served answers byte-identical to the
+# legacy leaf rescan and full Compute, concurrent queriers under eviction
+# pressure), and the serve experiment's live ≥5× speedup check.
+serve-smoke:
+	go test -race -timeout 10m -count=1 ./internal/serve
+	go test -race -timeout 10m -count=1 -run 'Serving|AnswerRejects' .
+	go test -race -timeout 10m -count=1 -run 'TestServe_' ./internal/exp
+
 # One pass over the paper-figure benchmarks, snapshotted to BENCH_<date>.json
 # and gated against bench/baseline.json. Only allocs/op regressions fail —
 # the sort/partition kernels are zero-allocation in steady state, so the
 # count is deterministic; ns/op on shared runners is too noisy to gate.
 bench-smoke:
-	go test -run xxx -bench 'BenchmarkFig|BenchmarkSec5_1' -benchmem -benchtime 1x -timeout 30m . | \
+	go test -run xxx -bench 'BenchmarkFig|BenchmarkSec5_1|BenchmarkServe' -benchmem -benchtime 1x -timeout 30m . | \
 		go run ./cmd/benchguard -out BENCH_$$(date +%F).json -baseline bench/baseline.json

@@ -95,6 +95,82 @@ func benchCores(b *testing.B, algo string) {
 func BenchmarkFigCores_PT(b *testing.B)  { benchCores(b, "PT") }
 func BenchmarkFigCores_BPP(b *testing.B) { benchCores(b, "BPP") }
 
+// BenchmarkServeExperiment replays the whole serving-layer experiment
+// (arity sweep + Zipf workload), as cubebench -exp serve runs it.
+func BenchmarkServeExperiment(b *testing.B) { runExpBench(b, "serve") }
+
+// BenchmarkServe measures the serving layer's regimes on the
+// weather-shaped dataset against the legacy full-leaf rescan it replaced.
+// The acceptance bar for the serving PR: ancestor/cache-served coarse
+// group-bys ≥5× faster than LegacyLeafRescan, with fewer allocs/op on the
+// hit path.
+func BenchmarkServe(b *testing.B) {
+	ds := SyntheticWeather(benchTuples, 2001)
+	dims := ds.PickDimsByCardinalityProduct(9, 13)
+	mat, err := Materialize(ds, dims, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	groupBy := dims[:2]  // the coarse query under test
+	ancestor := dims[:3] // its cached 3-dim ancestor
+
+	b.Run("LegacyLeafRescan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mat.answerLeafRescan(groupBy, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ColdMiss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.ResetCache()
+			if _, err := mat.Answer(groupBy, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("AncestorHit", func(b *testing.B) {
+		mat.ResetCache()
+		if _, err := mat.Answer(ancestor, 2); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mat.invalidate(groupBy); err != nil {
+				b.Fatal(err)
+			}
+			cells, stats, err := mat.AnswerStats(groupBy, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.CacheHit || len(stats.ServedFrom) != len(ancestor) {
+				b.Fatalf("not served from the 3-dim ancestor: %+v", stats)
+			}
+			if len(cells) == 0 {
+				b.Fatal("empty answer")
+			}
+		}
+	})
+	b.Run("CacheHit", func(b *testing.B) {
+		if _, err := mat.Answer(groupBy, 2); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cells, stats, err := mat.AnswerStats(groupBy, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !stats.CacheHit {
+				b.Fatalf("expected a cache hit: %+v", stats)
+			}
+			if len(cells) == 0 {
+				b.Fatal("empty answer")
+			}
+		}
+	})
+}
+
 func BenchmarkFig4_7_Recipe(b *testing.B) {
 	profiles := []Profile{
 		{Tuples: 176631, Dims: 9, CardinalityProduct: 1e13},

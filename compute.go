@@ -87,6 +87,7 @@ type Result struct {
 	dims  []int
 	set   *results.Set
 	attrs []string
+	pos   map[string]int // attribute name → cube position
 
 	// Algorithm that produced the cube.
 	Algorithm Algorithm
@@ -156,8 +157,10 @@ func Compute(ds *Dataset, q Query) (*Result, error) {
 		return nil, err
 	}
 	attrs := make([]string, len(dims))
+	pos := make(map[string]int, len(dims))
 	for i, d := range dims {
 		attrs[i] = ds.rel.Name(d)
+		pos[attrs[i]] = i
 	}
 	tot := rep.Totals()
 	return &Result{
@@ -165,6 +168,7 @@ func Compute(ds *Dataset, q Query) (*Result, error) {
 		dims:         dims,
 		set:          set,
 		attrs:        attrs,
+		pos:          pos,
 		Algorithm:    q.Algorithm,
 		Makespan:     rep.Makespan,
 		WorkerLoads:  rep.Loads(),
@@ -179,22 +183,21 @@ func (r *Result) NumCells() int { return r.set.NumCells() }
 // NumCuboids returns the number of non-empty group-bys (out of 2^d).
 func (r *Result) NumCuboids() int { return r.set.NumCuboids() }
 
-// maskFor resolves a GROUP BY attribute list to a cuboid mask.
+// maskFor resolves a GROUP BY attribute list to a cuboid mask, rejecting
+// unknown and duplicate attributes.
 func (r *Result) maskFor(groupBy []string) (lattice.Mask, []int, error) {
 	var mask lattice.Mask
 	pos := make([]int, 0, len(groupBy))
 	for _, name := range groupBy {
-		found := -1
-		for i, a := range r.attrs {
-			if a == name {
-				found = i
-			}
-		}
-		if found < 0 {
+		p, ok := r.pos[name]
+		if !ok {
 			return 0, nil, fmt.Errorf("icebergcube: %q is not a cube dimension of this result", name)
 		}
-		mask |= 1 << uint(found)
-		pos = append(pos, found)
+		if mask.Has(p) {
+			return 0, nil, fmt.Errorf("icebergcube: duplicate group-by attribute %q", name)
+		}
+		mask |= 1 << uint(p)
+		pos = append(pos, p)
 	}
 	return mask, pos, nil
 }
@@ -217,7 +220,11 @@ func (r *Result) Cuboid(groupBy ...string) ([]Cell, error) {
 	for k := range raw {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	// Ascending value-tuple order — the canonical cell order shared with
+	// Materialized.Answer.
+	sort.Slice(keys, func(a, b int) bool {
+		return results.CompareTuples(results.DecodeKey(keys[a]), results.DecodeKey(keys[b])) < 0
+	})
 	for _, k := range keys {
 		st := raw[k]
 		codes := results.DecodeKey(k)

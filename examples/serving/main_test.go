@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the serving example: all three serving regimes
+// (leaf scan, ancestor aggregation, cache hit) and the budget-shrink
+// eviction report must appear, deterministically.
+func TestRun(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	if out == "" {
+		t.Fatal("example produced no output")
+	}
+	if out != b.String() {
+		t.Fatal("example output is not deterministic across runs")
+	}
+	for _, want := range []string{
+		"materialized leaf:",
+		"leaf scan",
+		"ancestor aggregation",
+		"cache hit",
+		"serving metrics:",
+		"evictions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}

@@ -36,6 +36,9 @@ type Config struct {
 	// task bodies). Virtual-time results are identical for every value;
 	// only real wall clock changes — the "cores" experiment measures it.
 	Cores int
+	// CacheMB is the serving layer's cuboid-cache byte budget in
+	// megabytes (default 64) — only the "serve" experiment reads it.
+	CacheMB int
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +56,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 2001
+	}
+	if c.CacheMB == 0 {
+		c.CacheMB = 64
 	}
 	return c
 }

@@ -1,0 +1,225 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/core"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
+	"icebergcube/internal/results"
+	"icebergcube/internal/serve"
+)
+
+// serveArities are the group-by widths the serving sweep measures.
+var serveArities = []int{1, 2, 3, 4}
+
+// serveLeaf materializes the finest cuboid of the workload and wraps it
+// in a serving server with a c.CacheMB-megabyte cuboid cache.
+func serveLeaf(c Config, rel *relation.Relation, dims []int) (*serve.Server, *results.Set, lattice.Mask, error) {
+	set := results.NewSet()
+	_, err := PrecomputeLeaf(core.Run{
+		Rel:     rel,
+		Dims:    dims,
+		Cond:    agg.MinSupport(1),
+		Workers: c.Workers,
+		Sink:    set,
+		Seed:    c.Seed,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var full lattice.Mask
+	for p := range dims {
+		full |= 1 << uint(p)
+	}
+	keys, states := set.CuboidColumns(full)
+	leaf := &serve.Cuboid{Mask: full, Width: len(dims), Keys: keys, States: states}
+	cards := make([]int, len(dims))
+	for i, d := range dims {
+		cards[i] = rel.Card(d)
+	}
+	return serve.NewServer(leaf, cards, int64(c.CacheMB)<<20), set, full, nil
+}
+
+// legacyLeafRescan is the pre-serving-layer query path: rescan every leaf
+// cell through a string-keyed map with per-cell key decoding — O(leaf)
+// for any query shape. The experiment reads its wall time as the
+// "before" series.
+func legacyLeafRescan(set *results.Set, full lattice.Mask, order []int) int {
+	groups := make(map[string]agg.State)
+	for k, st := range set.Cuboid(full) {
+		key := results.DecodeKey(k)
+		sub := make([]byte, 4*len(order))
+		for i, p := range order {
+			v := key[p]
+			sub[4*i] = byte(v)
+			sub[4*i+1] = byte(v >> 8)
+			sub[4*i+2] = byte(v >> 16)
+			sub[4*i+3] = byte(v >> 24)
+		}
+		g, ok := groups[string(sub)]
+		if !ok {
+			g = agg.NewState()
+		}
+		g.Merge(st)
+		groups[string(sub)] = g
+	}
+	return len(groups)
+}
+
+// Serve — the serving-layer experiment: per-query wall time of the legacy
+// full-leaf rescan vs the lattice-aware server's three regimes (cold miss
+// from the leaf, aggregation from a cached ancestor, pure cache hit),
+// swept over group-by arity; plus a mixed Zipf workload that exercises
+// the byte-budgeted cache under realistic traffic. Like "cores", this
+// measures host wall clock, not the simulator's virtual time.
+func Serve(c Config) (*Table, error) {
+	c = c.withDefaults()
+	rel, dims := workload(c)
+	srv, set, full, err := serveLeaf(c, rel, dims)
+	if err != nil {
+		return nil, err
+	}
+	leafRows := srv.Leaf().Rows()
+
+	t := &Table{
+		ID:     "serve",
+		Title:  "Serving layer: smallest-ancestor rewriting + cuboid cache (µs/query)",
+		XLabel: "group-by arity",
+		YLabel: "µs per query (host wall clock)",
+	}
+	names := []string{"leaf-rescan", "cold-miss", "ancestor-hit", "cache-hit"}
+	for _, n := range names {
+		t.Series = append(t.Series, Series{Name: n})
+	}
+
+	timeIt := func(reps int, fn func() error) (float64, error) {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds() * 1e6 / float64(reps), nil
+	}
+
+	for _, k := range serveArities {
+		if k > len(dims) {
+			break
+		}
+		order := make([]int, k)
+		var qmask, amask lattice.Mask
+		for i := 0; i < k; i++ {
+			order[i] = i
+			qmask |= 1 << uint(i)
+		}
+		amask = qmask | 1<<uint(k%len(dims)) // the (k+1)-dim ancestor
+		if amask == qmask {
+			amask = full
+		}
+
+		// Before: the legacy map-based rescan of all leaf cells.
+		us, err := timeIt(3, func() error { legacyLeafRescan(set, full, order); return nil })
+		if err != nil {
+			return nil, err
+		}
+		t.Series[0].Points = append(t.Series[0].Points, Point{X: float64(k), Y: us})
+
+		// Cold miss: aggregate from the leaf with an empty cache.
+		us, err = timeIt(3, func() error {
+			srv.Reset()
+			_, _, err := srv.Query(qmask)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Series[1].Points = append(t.Series[1].Points, Point{X: float64(k), Y: us})
+
+		// Ancestor hit: the (k+1)-dim cuboid is resident; q aggregates
+		// from it instead of the leaf.
+		srv.Reset()
+		if _, _, err := srv.Query(amask); err != nil {
+			return nil, err
+		}
+		us, err = timeIt(10, func() error {
+			srv.Invalidate(qmask)
+			_, stats, err := srv.Query(qmask)
+			if err == nil && stats.ServedFrom != amask {
+				return fmt.Errorf("exp: arity %d served from %b, want ancestor %b", k, stats.ServedFrom, amask)
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Series[2].Points = append(t.Series[2].Points, Point{X: float64(k), Y: us})
+
+		// Cache hit: the query's own cuboid is resident.
+		if _, _, err := srv.Query(qmask); err != nil {
+			return nil, err
+		}
+		us, err = timeIt(100, func() error {
+			_, stats, err := srv.Query(qmask)
+			if err == nil && !stats.CacheHit {
+				return fmt.Errorf("exp: arity %d expected a cache hit", k)
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Series[3].Points = append(t.Series[3].Points, Point{X: float64(k), Y: us})
+
+		// Live correctness check: the served cuboid's cell count equals
+		// the legacy rescan's group count.
+		cub, _, err := srv.Query(qmask)
+		if err != nil {
+			return nil, err
+		}
+		if want := legacyLeafRescan(set, full, order); cub.Rows() != want {
+			return nil, fmt.Errorf("exp: arity %d served %d cells, legacy rescan found %d", k, cub.Rows(), want)
+		}
+	}
+
+	// Mixed Zipf workload: query shapes drawn by popularity rank over all
+	// non-empty group-bys, coarse shapes first — the serving layer should
+	// absorb the bulk in the cache.
+	masks := lattice.All(len(dims))
+	sort.Slice(masks, func(a, b int) bool {
+		if masks[a].Count() != masks[b].Count() {
+			return masks[a].Count() < masks[b].Count()
+		}
+		return masks[a] < masks[b]
+	})
+	srv2, _, _, err := serveLeaf(c, rel, dims)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	zipf := rand.NewZipf(rng, 1.4, 4, uint64(len(masks)-1))
+	const zipfQueries = 400
+	start := time.Now()
+	for i := 0; i < zipfQueries; i++ {
+		if _, _, err := srv2.Query(masks[zipf.Uint64()]); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(start).Seconds()
+	m := srv2.Stats()
+	if m.ResidentBytes > m.BudgetBytes {
+		return nil, fmt.Errorf("exp: cache exceeded its budget: %d > %d", m.ResidentBytes, m.BudgetBytes)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("leaf: %d cells; cache budget %d MB", leafRows, c.CacheMB),
+		fmt.Sprintf("zipf workload: %d queries in %.1fms (%.0fµs/query), %.0f%% cache hits, %d leaf rescans, %d ancestor aggregations, %d evictions, %d KB resident",
+			zipfQueries, wall*1e3, wall*1e6/zipfQueries,
+			100*float64(m.CacheHits+m.Coalesced)/float64(m.Queries),
+			m.LeafAggregations, m.AncestorAggregations, m.Evictions, m.ResidentBytes>>10),
+	)
+	return t, nil
+}

@@ -94,6 +94,56 @@ func (s *Set) Cuboid(m lattice.Mask) map[string]agg.State {
 	return out
 }
 
+// CompareTuples orders two equal-length code tuples lexicographically,
+// returning -1, 0 or 1. This natural tuple order is the canonical cell
+// order of the public API and of the serving layer's columnar cuboids.
+func CompareTuples(a, b []uint32) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// CuboidColumns extracts cuboid m in columnar row-major form: a flat
+// []uint32 of width m.Count() per row plus one aggregate state per row,
+// sorted in natural tuple order. The serving layer builds its resident
+// leaf cuboid from this; tests use it as a stable iteration order.
+func (s *Set) CuboidColumns(m lattice.Mask) ([]uint32, []agg.State) {
+	s.mu.Lock()
+	byKey := s.cells[m]
+	width := m.Count()
+	rows := len(byKey)
+	keys := make([]uint32, 0, rows*width)
+	states := make([]agg.State, 0, rows)
+	for k, st := range byKey {
+		keys = append(keys, DecodeKey(k)...)
+		states = append(states, st)
+	}
+	s.mu.Unlock()
+	if width == 0 || rows < 2 {
+		return keys, states
+	}
+	perm := make([]int, rows)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		return CompareTuples(keys[perm[a]*width:perm[a]*width+width], keys[perm[b]*width:perm[b]*width+width]) < 0
+	})
+	outKeys := make([]uint32, 0, rows*width)
+	outStates := make([]agg.State, 0, rows)
+	for _, p := range perm {
+		outKeys = append(outKeys, keys[p*width:p*width+width]...)
+		outStates = append(outStates, states[p])
+	}
+	return outKeys, outStates
+}
+
 // Each invokes fn for every cell in the set (order unspecified). fn must
 // not call back into this set.
 func (s *Set) Each(fn func(m lattice.Mask, key []uint32, st agg.State)) {

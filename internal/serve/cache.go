@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"icebergcube/internal/lattice"
+)
+
+// cache is the byte-budgeted LRU of computed (non-leaf) cuboids. The leaf
+// lives outside it and is never evicted; everything here is derivable
+// again, so eviction only costs recomputation. All operations are guarded
+// by one mutex — an RWMutex buys nothing because even lookups mutate the
+// recency list.
+type cache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used
+	byMask map[lattice.Mask]*list.Element
+
+	evictions    int64
+	evictedBytes int64
+	admitted     int64
+	rejected     int64
+}
+
+type centry struct {
+	mask lattice.Mask
+	cub  *Cuboid
+}
+
+func newCache(budget int64) *cache {
+	return &cache{budget: budget, ll: list.New(), byMask: make(map[lattice.Mask]*list.Element)}
+}
+
+// get returns the resident cuboid for m, promoting it to most recent.
+func (c *cache) get(m lattice.Mask) (*Cuboid, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byMask[m]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*centry).cub, true
+}
+
+// add admits cub under the byte budget, evicting least-recently-used
+// entries until it fits. A cuboid larger than the whole budget is rejected
+// outright (the caller still serves it, it just isn't retained), so the
+// resident-bytes invariant bytes ≤ budget holds at all times. Returns
+// whether the cuboid is now resident and how many entries were evicted.
+func (c *cache) add(m lattice.Mask, cub *Cuboid) (admitted bool, evicted int) {
+	size := cub.SizeBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byMask[m]; ok {
+		// A concurrent filler won the race; keep the resident copy.
+		c.ll.MoveToFront(el)
+		return true, 0
+	}
+	if size > c.budget {
+		c.rejected++
+		return false, 0
+	}
+	for c.bytes+size > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.evict(back)
+		evicted++
+	}
+	c.byMask[m] = c.ll.PushFront(&centry{mask: m, cub: cub})
+	c.bytes += size
+	c.admitted++
+	return true, evicted
+}
+
+// evict removes one element (caller holds the lock).
+func (c *cache) evict(el *list.Element) {
+	e := el.Value.(*centry)
+	c.ll.Remove(el)
+	delete(c.byMask, e.mask)
+	c.bytes -= e.cub.SizeBytes()
+	c.evictions++
+	c.evictedBytes += e.cub.SizeBytes()
+}
+
+// remove drops one mask if resident.
+func (c *cache) remove(m lattice.Mask) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byMask[m]; ok {
+		e := el.Value.(*centry)
+		c.ll.Remove(el)
+		delete(c.byMask, e.mask)
+		c.bytes -= e.cub.SizeBytes()
+	}
+}
+
+// reset drops every resident cuboid (metrics are kept).
+func (c *cache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.byMask)
+	c.bytes = 0
+}
+
+// setBudget installs a new byte budget, evicting from the LRU tail until
+// the resident set fits.
+func (c *cache) setBudget(budget int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = budget
+	for c.bytes > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.evict(back)
+	}
+}
+
+// residentMasks appends the resident masks and their cell counts to dst —
+// the candidate set for smallest-ancestor selection.
+func (c *cache) residentMasks(dst []maskSize) []maskSize {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*centry)
+		dst = append(dst, maskSize{mask: e.mask, rows: e.cub.Rows()})
+	}
+	return dst
+}
+
+type maskSize struct {
+	mask lattice.Mask
+	rows int
+}

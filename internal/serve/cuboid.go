@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"icebergcube/internal/agg"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
+)
+
+// Cuboid is one resident group-by in serving form: row-major dictionary
+// codes plus one aggregate state per row, sorted in natural tuple order.
+// Cuboids are immutable after construction, so readers never lock — the
+// cache may drop a cuboid while a query is still aggregating from it.
+type Cuboid struct {
+	// Mask identifies the group-by, with bit i meaning "materialized
+	// dimension i" (positions are relative to the server's leaf, not to
+	// the underlying relation).
+	Mask lattice.Mask
+	// Width is the number of key columns, Mask.Count(). Zero for the
+	// "all" cuboid, whose single row has an empty key.
+	Width int
+	// Keys holds Rows()×Width codes row-major, rows in ascending tuple
+	// order.
+	Keys []uint32
+	// States holds one aggregate per row, parallel to Keys.
+	States []agg.State
+}
+
+// Rows returns the cell count.
+func (c *Cuboid) Rows() int {
+	if c.Width == 0 {
+		return len(c.States)
+	}
+	return len(c.Keys) / c.Width
+}
+
+// Row returns row i's key tuple (aliases the cuboid's storage).
+func (c *Cuboid) Row(i int) []uint32 {
+	return c.Keys[i*c.Width : (i+1)*c.Width]
+}
+
+// stateBytes is the in-memory footprint of one agg.State (count + 3
+// float64 components).
+const stateBytes = 32
+
+// cuboidOverheadBytes charges the struct header and slice headers so that
+// even tiny cuboids have a non-zero cache footprint.
+const cuboidOverheadBytes = 96
+
+// SizeBytes returns the cuboid's approximate resident footprint — the
+// quantity the byte-budgeted cache accounts and evicts by.
+func (c *Cuboid) SizeBytes() int64 {
+	return cuboidOverheadBytes + 4*int64(len(c.Keys)) + stateBytes*int64(len(c.States))
+}
+
+// colBytes returns how many radix passes (low-order bytes) are needed to
+// order codes below card.
+func colBytes(card int) int {
+	switch {
+	case card <= 1<<8:
+		return 1
+	case card <= 1<<16:
+		return 2
+	case card <= 1<<24:
+		return 3
+	}
+	return 4
+}
+
+// aggregateFrom computes the cuboid for mask by aggregating src, a
+// resident ancestor (mask ⊆ src.Mask). cols gives, for each attribute of
+// mask in ascending order, its column index within src's rows; cards the
+// attribute's code cardinality (for radix sizing). The returned cuboid is
+// sorted in natural tuple order because the permutation sort is stable and
+// keyed on exactly the projected columns. sc supplies reusable sort
+// scratch; per the relation.Scratch ownership rule it must be private to
+// the calling goroutine.
+func aggregateFrom(src *Cuboid, mask lattice.Mask, cols []int, cards []int, sc *relation.Scratch) *Cuboid {
+	n := src.Rows()
+	width := len(cols)
+	if width == 0 {
+		// Roll everything up to the single "all" cell.
+		st := agg.NewState()
+		for _, s := range src.States {
+			st.Merge(s)
+		}
+		out := &Cuboid{Mask: mask, Width: 0}
+		if n > 0 {
+			out.States = []agg.State{st}
+		}
+		return out
+	}
+	if mask == src.Mask {
+		return src
+	}
+
+	// Order rows by the projected tuple: a stable LSD radix over the
+	// projected columns, least-significant column first, one counting
+	// pass per significant byte. Steady state performs zero allocations —
+	// all buffers come from the scratch arena.
+	perm := sc.Int32s(n)[:n]
+	tmp := sc.Int32s(n)[:n]
+	counts := sc.Int32s(256)[:256]
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for c := width - 1; c >= 0; c-- {
+		col := cols[c]
+		for shift := 0; shift < 8*colBytes(cards[c]); shift += 8 {
+			clear(counts)
+			for _, r := range perm {
+				b := byte(src.Keys[int(r)*src.Width+col] >> shift)
+				counts[b]++
+			}
+			var sum int32
+			for b := range counts {
+				counts[b], sum = sum, sum+counts[b]
+			}
+			for _, r := range perm {
+				b := byte(src.Keys[int(r)*src.Width+col] >> shift)
+				tmp[counts[b]] = r
+				counts[b]++
+			}
+			perm, tmp = tmp, perm
+		}
+	}
+
+	// Merge runs of equal projected tuples into output cells.
+	outKeys := make([]uint32, 0, 4*width)
+	outStates := make([]agg.State, 0, 4)
+	for _, r := range perm {
+		row := src.Keys[int(r)*src.Width : (int(r)+1)*src.Width]
+		last := len(outStates) - 1
+		if last >= 0 {
+			prev := outKeys[last*width:]
+			same := true
+			for i, col := range cols {
+				if prev[i] != row[col] {
+					same = false
+					break
+				}
+			}
+			if same {
+				outStates[last].Merge(src.States[r])
+				continue
+			}
+		}
+		for _, col := range cols {
+			outKeys = append(outKeys, row[col])
+		}
+		outStates = append(outStates, src.States[r])
+	}
+	sc.PutInt32s(counts)
+	sc.PutInt32s(tmp)
+	sc.PutInt32s(perm)
+	return &Cuboid{Mask: mask, Width: width, Keys: outKeys, States: outStates}
+}

@@ -1,0 +1,276 @@
+// Package serve is the lattice-aware online serving layer over a
+// materialized finest cuboid (§5.1). Instead of rescanning every leaf
+// cell per query — O(leaf) work however coarse the group-by — it keeps a
+// registry of resident cuboids keyed by lattice.Mask and answers each
+// query from the smallest resident ancestor (Gray et al.'s cube-lattice
+// observation: any cuboid is derivable from any superset cuboid by
+// further aggregation). Computed cuboids are admitted into a
+// byte-budgeted LRU cache, so repeated and nearby query shapes amortize
+// to near-lookup cost; the leaf itself is pinned outside the cache and
+// never evicted. Concurrent identical misses are coalesced so each
+// cuboid is computed once (singleflight).
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
+)
+
+// DefaultBudgetBytes is the cache budget used when the caller passes a
+// non-positive budget: large enough to hold the hot cuboids of any of the
+// paper's workloads, small enough to stay irrelevant next to the leaf.
+const DefaultBudgetBytes = 64 << 20
+
+// QueryStats describes how one query was served — threaded back to the
+// caller for observability and asserted on by the serving experiments.
+type QueryStats struct {
+	// Query is the requested group-by.
+	Query lattice.Mask
+	// ServedFrom is the resident cuboid the answer came from: Query
+	// itself on a cache hit, else the smallest resident ancestor that was
+	// aggregated.
+	ServedFrom lattice.Mask
+	// CacheHit reports the answer was already resident (no aggregation).
+	CacheHit bool
+	// Coalesced reports this query waited on an identical in-flight miss
+	// instead of computing its own copy.
+	Coalesced bool
+	// CellsScanned is the number of ancestor cells aggregated (0 on a
+	// hit).
+	CellsScanned int
+	// ResultCells is the answer cuboid's cell count.
+	ResultCells int
+	// Admitted reports the computed cuboid was retained in the cache.
+	Admitted bool
+	// Evicted is the number of cuboids evicted to admit this one.
+	Evicted int
+}
+
+// Metrics are the server's cumulative counters.
+type Metrics struct {
+	// Queries is the total number of Query calls.
+	Queries int64
+	// CacheHits counts queries answered from a resident cuboid (leaf
+	// included) without aggregation.
+	CacheHits int64
+	// Coalesced counts queries that piggybacked on an identical
+	// in-flight miss.
+	Coalesced int64
+	// Computes counts aggregations performed (cache misses that did
+	// work).
+	Computes int64
+	// LeafAggregations / AncestorAggregations split Computes by source:
+	// the pinned leaf vs a smaller cached ancestor.
+	LeafAggregations     int64
+	AncestorAggregations int64
+	// Admitted / Rejected / Evictions are cache admission-control
+	// counters; EvictedBytes totals the evicted cuboids' footprint.
+	Admitted     int64
+	Rejected     int64
+	Evictions    int64
+	EvictedBytes int64
+	// ResidentBytes / ResidentCuboids describe the cache's current
+	// occupancy (the pinned leaf is excluded). ResidentBytes ≤
+	// BudgetBytes always.
+	ResidentBytes   int64
+	ResidentCuboids int
+	// BudgetBytes is the configured cache budget.
+	BudgetBytes int64
+	// LeafBytes is the pinned leaf's footprint (not budgeted).
+	LeafBytes int64
+}
+
+// Server answers group-by queries over one materialized leaf cuboid.
+// Safe for concurrent use.
+type Server struct {
+	leaf  *Cuboid
+	cards []int // per leaf column: code cardinality, for radix sizing
+	cache *cache
+
+	mu       sync.Mutex
+	inflight map[lattice.Mask]*flight
+
+	scratch sync.Pool // *relation.Scratch, one per aggregating goroutine
+
+	queries   atomic.Int64
+	hits      atomic.Int64
+	coalesced atomic.Int64
+	leafAggs  atomic.Int64
+	ancAggs   atomic.Int64
+}
+
+// flight is one in-progress cuboid computation; duplicate queriers wait
+// on done and share the result.
+type flight struct {
+	done  chan struct{}
+	cub   *Cuboid
+	stats QueryStats
+}
+
+// NewServer builds a server over a leaf cuboid. cards gives the code
+// cardinality of each leaf column (used to size radix passes);
+// budgetBytes ≤ 0 selects DefaultBudgetBytes.
+func NewServer(leaf *Cuboid, cards []int, budgetBytes int64) *Server {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudgetBytes
+	}
+	s := &Server{
+		leaf:     leaf,
+		cards:    append([]int(nil), cards...),
+		cache:    newCache(budgetBytes),
+		inflight: make(map[lattice.Mask]*flight),
+	}
+	s.scratch.New = func() any { return relation.NewScratch() }
+	return s
+}
+
+// Leaf returns the pinned leaf cuboid.
+func (s *Server) Leaf() *Cuboid { return s.leaf }
+
+// SetBudget changes the cache byte budget, evicting as needed.
+func (s *Server) SetBudget(budgetBytes int64) {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudgetBytes
+	}
+	s.cache.setBudget(budgetBytes)
+}
+
+// Reset drops every cached cuboid (the leaf stays). Benchmarks use it to
+// measure the cold path.
+func (s *Server) Reset() { s.cache.reset() }
+
+// Invalidate drops one cached cuboid if resident.
+func (s *Server) Invalidate(q lattice.Mask) { s.cache.remove(q) }
+
+// Query returns the cuboid for group-by q (bit i = leaf column i) along
+// with how it was served. The returned cuboid is immutable and remains
+// valid after eviction.
+func (s *Server) Query(q lattice.Mask) (*Cuboid, QueryStats, error) {
+	if !q.SubsetOf(s.leaf.Mask) {
+		return nil, QueryStats{}, fmt.Errorf("serve: mask %b is not a subset of the leaf %b", q, s.leaf.Mask)
+	}
+	s.queries.Add(1)
+	stats := QueryStats{Query: q, ServedFrom: q}
+	if q == s.leaf.Mask {
+		s.hits.Add(1)
+		stats.CacheHit = true
+		stats.ResultCells = s.leaf.Rows()
+		return s.leaf, stats, nil
+	}
+	if cub, ok := s.cache.get(q); ok {
+		s.hits.Add(1)
+		stats.CacheHit = true
+		stats.ResultCells = cub.Rows()
+		return cub, stats, nil
+	}
+
+	// Miss: coalesce with an identical in-flight computation, else
+	// become the filler for this mask.
+	s.mu.Lock()
+	if f, ok := s.inflight[q]; ok {
+		s.mu.Unlock()
+		<-f.done
+		s.coalesced.Add(1)
+		stats = f.stats
+		stats.Coalesced = true
+		return f.cub, stats, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[q] = f
+	s.mu.Unlock()
+
+	cub, st := s.compute(q)
+	f.cub, f.stats = cub, st
+	s.mu.Lock()
+	delete(s.inflight, q)
+	s.mu.Unlock()
+	close(f.done)
+	return cub, st, nil
+}
+
+// compute aggregates q from the smallest resident ancestor and admits the
+// result into the cache.
+func (s *Server) compute(q lattice.Mask) (*Cuboid, QueryStats) {
+	stats := QueryStats{Query: q}
+
+	// Candidate ancestors: every cached cuboid plus the pinned leaf.
+	resident := s.cache.residentMasks(make([]maskSize, 0, 16))
+	resident = append(resident, maskSize{mask: s.leaf.Mask, rows: s.leaf.Rows()})
+	rows := make(map[lattice.Mask]int, len(resident))
+	masks := make([]lattice.Mask, 0, len(resident))
+	for _, ms := range resident {
+		if _, ok := rows[ms.mask]; !ok {
+			rows[ms.mask] = ms.rows
+			masks = append(masks, ms.mask)
+		}
+	}
+	from, _ := lattice.SmallestAncestor(q, masks, func(m lattice.Mask) int { return rows[m] })
+
+	src := s.leaf
+	if from != s.leaf.Mask {
+		if cub, ok := s.cache.get(from); ok {
+			src = cub
+		} else {
+			// Evicted between selection and fetch; fall back to the leaf.
+			from = s.leaf.Mask
+		}
+	}
+	if from == s.leaf.Mask {
+		s.leafAggs.Add(1)
+	} else {
+		s.ancAggs.Add(1)
+	}
+
+	// Column positions of q's attributes within src's rows, and their
+	// cardinalities for the radix sort.
+	srcDims := src.Mask.Dims()
+	srcPos := make(map[int]int, len(srcDims))
+	for i, d := range srcDims {
+		srcPos[d] = i
+	}
+	qDims := q.Dims()
+	cols := make([]int, len(qDims))
+	cards := make([]int, len(qDims))
+	for i, d := range qDims {
+		cols[i] = srcPos[d]
+		cards[i] = s.cards[d]
+	}
+
+	sc := s.scratch.Get().(*relation.Scratch)
+	cub := aggregateFrom(src, q, cols, cards, sc)
+	s.scratch.Put(sc)
+
+	stats.ServedFrom = from
+	stats.CellsScanned = src.Rows()
+	stats.ResultCells = cub.Rows()
+	stats.Admitted, stats.Evicted = s.cache.add(q, cub)
+	return cub, stats
+}
+
+// Stats returns the cumulative serving metrics.
+func (s *Server) Stats() Metrics {
+	c := s.cache
+	c.mu.Lock()
+	m := Metrics{
+		Admitted:        c.admitted,
+		Rejected:        c.rejected,
+		Evictions:       c.evictions,
+		EvictedBytes:    c.evictedBytes,
+		ResidentBytes:   c.bytes,
+		ResidentCuboids: len(c.byMask),
+		BudgetBytes:     c.budget,
+	}
+	c.mu.Unlock()
+	m.Queries = s.queries.Load()
+	m.CacheHits = s.hits.Load()
+	m.Coalesced = s.coalesced.Load()
+	m.LeafAggregations = s.leafAggs.Load()
+	m.AncestorAggregations = s.ancAggs.Load()
+	m.Computes = m.LeafAggregations + m.AncestorAggregations
+	m.LeafBytes = s.leaf.SizeBytes()
+	return m
+}
