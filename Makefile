@@ -2,8 +2,10 @@
 
 FUZZTIME ?= 30s
 FUZZ_TARGETS := FuzzDifferential FuzzMetamorphic FuzzHashTree FuzzEncodeRoundTrip FuzzSortKernel
+# Root-package fuzz targets (seed corpus under testdata/fuzz/).
+FUZZ_TARGETS_ROOT := FuzzIncrementalMaintenance
 
-.PHONY: build vet test short race chaos fuzz corpus serve-smoke bench-smoke
+.PHONY: build vet test short race chaos fuzz corpus serve-smoke ingest-smoke bench-smoke
 
 # The chaos suite: fault injection, failure detection and recovery tests
 # across the transport, scheduler, distributed-cube and POL layers. Every
@@ -34,11 +36,16 @@ chaos:
 	go test -race -timeout 10m -count=1 -run $(CHAOS_RUN) $(CHAOS_PKGS)
 
 # Run each fuzz target for $(FUZZTIME). Checked-in corpus entries under
-# internal/oracle/testdata/fuzz/ also replay as regression tests in `make test`.
+# internal/oracle/testdata/fuzz/ and testdata/fuzz/ also replay as
+# regression tests in `make test`.
 fuzz:
 	@for t in $(FUZZ_TARGETS); do \
 		echo "== $$t =="; \
 		go test ./internal/oracle -run '^$$' -fuzz "^$$t\$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+	@for t in $(FUZZ_TARGETS_ROOT); do \
+		echo "== $$t =="; \
+		go test . -run '^$$' -fuzz "^$$t\$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 
 # Regenerate the checked-in seed corpus from internal/oracle/seeds.go.
@@ -55,10 +62,22 @@ serve-smoke:
 	go test -race -timeout 10m -count=1 -run 'Serving|AnswerRejects' .
 	go test -race -timeout 10m -count=1 -run 'TestServe_' ./internal/exp
 
+# The incremental-maintenance correctness surface under -race: the
+# internal/ingest unit suite (commit engine, delete validation, version
+# retention) and internal/serve delta folds, the root-package maintenance
+# oracle (fuzzed mutation scripts proven cell-for-cell against scratch
+# recompute at every version, metamorphic laws, concurrent readers pinned
+# to versions while a writer commits), and the ingest experiment's live
+# commit-beats-recompute and hit-rate-preservation checks.
+ingest-smoke:
+	go test -race -timeout 10m -count=1 ./internal/ingest ./internal/serve
+	go test -race -timeout 10m -count=1 -run 'IncrementalMaintenance|Metamorphic|ConcurrentReadersPinned' .
+	go test -race -timeout 10m -count=1 -run 'TestIngest_' ./internal/exp
+
 # One pass over the paper-figure benchmarks, snapshotted to BENCH_<date>.json
 # and gated against bench/baseline.json. Only allocs/op regressions fail —
 # the sort/partition kernels are zero-allocation in steady state, so the
 # count is deterministic; ns/op on shared runners is too noisy to gate.
 bench-smoke:
-	go test -run xxx -bench 'BenchmarkFig|BenchmarkSec5_1|BenchmarkServe' -benchmem -benchtime 1x -timeout 30m . | \
+	go test -run xxx -bench 'BenchmarkFig|BenchmarkSec5_1|BenchmarkServe|BenchmarkCommit|BenchmarkIngest' -benchmem -benchtime 1x -timeout 30m . | \
 		go run ./cmd/benchguard -out BENCH_$$(date +%F).json -baseline bench/baseline.json

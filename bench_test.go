@@ -11,6 +11,8 @@ package icebergcube
 
 import (
 	"fmt"
+	"math/rand"
+	"strconv"
 	"testing"
 
 	"icebergcube/internal/agg"
@@ -169,7 +171,120 @@ func BenchmarkServe(b *testing.B) {
 			}
 		}
 	})
+	// The maintenance bar: an incremental commit folds resident cuboids
+	// forward, so the warm-hit path must survive a commit at hit cost.
+	b.Run("PostCommitWarmHit", func(b *testing.B) {
+		if _, err := mat.Answer(groupBy, 2); err != nil {
+			b.Fatal(err)
+		}
+		rows, meas := benchMutationBatch(b, ds, dims, 16, 3)
+		if err := mat.Append(rows, meas); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mat.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		mat.RetainSnapshots(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cells, stats, err := mat.AnswerStats(groupBy, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !stats.CacheHit {
+				b.Fatalf("warm cuboid lost across the commit: %+v", stats)
+			}
+			if len(cells) == 0 {
+				b.Fatal("empty answer")
+			}
+		}
+	})
 }
+
+// benchMutationBatch draws n rows inside the data set's existing code
+// space (synthetic data sets take decimal code strings).
+func benchMutationBatch(b *testing.B, ds *Dataset, dims []string, n int, seed int64) ([][]string, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cards := make([]int, len(dims))
+	for i, d := range dims {
+		c, err := ds.Cardinality(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cards[i] = c
+	}
+	rows := make([][]string, n)
+	meas := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]string, len(dims))
+		for d := range dims {
+			row[d] = strconv.Itoa(rng.Intn(cards[d]))
+		}
+		rows[i] = row
+		meas[i] = float64(rng.Intn(100))
+	}
+	return rows, meas
+}
+
+// BenchmarkCommit measures the incremental write path: Empty is the
+// version-publish floor (no delta, residents carried over), Churn64
+// appends and then deletes a 64-row batch across two commits — the leaf
+// and row store return to steady state every iteration, so allocs/op is
+// deterministic and benchguard-gated.
+func BenchmarkCommit(b *testing.B) {
+	ds := SyntheticWeather(benchTuples, 2001)
+	dims := ds.PickDimsByCardinalityProduct(9, 13)
+	setup := func(b *testing.B) *Materialized {
+		b.Helper()
+		mat, err := Materialize(ds, dims, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Keep cuboids resident so every commit exercises fold-forward.
+		if _, err := mat.Answer(dims[:2], 2); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mat.Answer(dims[:3], 2); err != nil {
+			b.Fatal(err)
+		}
+		return mat
+	}
+	b.Run("Empty", func(b *testing.B) {
+		mat := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mat.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			mat.RetainSnapshots(1)
+		}
+	})
+	b.Run("Churn64", func(b *testing.B) {
+		mat := setup(b)
+		rows, meas := benchMutationBatch(b, ds, dims, 64, 7)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mat.Append(rows, meas); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mat.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			if err := mat.Delete(rows, meas); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mat.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			mat.RetainSnapshots(1)
+		}
+	})
+}
+
+// BenchmarkIngestExperiment replays the whole incremental-maintenance
+// experiment (delta sweep vs recompute), as cubebench -exp ingest runs it.
+func BenchmarkIngestExperiment(b *testing.B) { runExpBench(b, "ingest") }
 
 func BenchmarkFig4_7_Recipe(b *testing.B) {
 	profiles := []Profile{

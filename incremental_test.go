@@ -1,0 +1,634 @@
+package icebergcube
+
+// The maintenance oracle: every committed version of an incrementally
+// maintained cube must answer exactly like a cube materialized from
+// scratch over that version's rows — cell for cell, for every group-by
+// and threshold, including under eviction-pressure cache budgets. The
+// mutation scripts (append/delete/commit/query interleavings) are driven
+// by a byte string so the same interpreter backs the seeded deterministic
+// tests and the FuzzIncrementalMaintenance target.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The script universe: three dimensions whose value alphabets extend past
+// the base data set, so appends exercise the dictionary-extension layer.
+var scriptDims = []string{"A", "B", "C"}
+
+var scriptVals = [][]string{
+	{"a0", "a1", "a2", "a3", "a4", "a5"},
+	{"b0", "b1", "b2", "b3", "b4"},
+	{"c0", "c1", "c2", "c3", "c4"},
+}
+
+// scriptGroupBys is every subset of the script dimensions.
+func scriptGroupBys() [][]string {
+	out := make([][]string, 0, 8)
+	for mask := 0; mask < 8; mask++ {
+		var gb []string
+		for d := range scriptDims {
+			if mask&(1<<d) != 0 {
+				gb = append(gb, scriptDims[d])
+			}
+		}
+		out = append(out, gb)
+	}
+	return out
+}
+
+// shadowRow is one live tuple of the model the oracle trusts.
+type shadowRow struct {
+	vals []string
+	meas float64
+}
+
+// cloneRows deep-copies a shadow row set (version snapshots must not
+// alias the mutable current set).
+func cloneRows(rows []shadowRow) []shadowRow {
+	out := make([]shadowRow, len(rows))
+	for i, r := range rows {
+		out[i] = shadowRow{vals: append([]string(nil), r.vals...), meas: r.meas}
+	}
+	return out
+}
+
+// baseScriptRows is the deterministic base relation every script starts
+// from: it covers only a prefix of each value alphabet, leaving room for
+// appends to introduce unseen values.
+func baseScriptRows() ([][]string, []float64) {
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]string, 0, 24)
+	meas := make([]float64, 0, 24)
+	for i := 0; i < 24; i++ {
+		rows = append(rows, []string{
+			scriptVals[0][rng.Intn(4)],
+			scriptVals[1][rng.Intn(3)],
+			scriptVals[2][rng.Intn(3)],
+		})
+		meas = append(meas, float64(rng.Intn(9)))
+	}
+	return rows, meas
+}
+
+// canonCells renders an answer order-independently: the incremental cube
+// and a scratch rebuild assign dictionary codes in different orders, so
+// their (value-identical) cells can sort differently.
+func canonCells(cells []Cell) string {
+	lines := make([]string, len(cells))
+	for i, c := range cells {
+		lines[i] = fmt.Sprintf("%s min=%g max=%g avg=%g", c.String(), c.Min, c.Max, c.Avg)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// scratchMat materializes rows from scratch — the ground truth AnswerAt
+// is checked against. nil means the row set is empty (no cells anywhere).
+func scratchMat(t testing.TB, rows []shadowRow) *Materialized {
+	t.Helper()
+	if len(rows) == 0 {
+		return nil
+	}
+	vals := make([][]string, len(rows))
+	meas := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = r.vals
+		meas[i] = r.meas
+	}
+	ds, err := FromRows(scriptDims, vals, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := Materialize(ds, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mat
+}
+
+// scratchCanon renders one reference answer canonically.
+func scratchCanon(t testing.TB, mat *Materialized, gb []string, minsup int64) string {
+	t.Helper()
+	if mat == nil {
+		return ""
+	}
+	cells, err := mat.Answer(gb, minsup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canonCells(cells)
+}
+
+// script walks the fuzz input; exhausted input reads as zero.
+type script struct {
+	data []byte
+	pos  int
+}
+
+func (s *script) more() bool { return s.pos < len(s.data) }
+
+func (s *script) next() byte {
+	if s.pos >= len(s.data) {
+		return 0
+	}
+	b := s.data[s.pos]
+	s.pos++
+	return b
+}
+
+// runIncrementalScript interprets one fuzzed mutation script against a
+// live cube and a shadow model, then proves every committed version
+// against a from-scratch materialization.
+func runIncrementalScript(t *testing.T, data []byte) {
+	s := &script{data: data}
+
+	// The first byte picks the cache budget: tight enough to force
+	// evictions, or the default.
+	budget := int64(0)
+	if s.next()%2 == 0 {
+		budget = 1 << 10
+	}
+
+	baseVals, baseMeas := baseScriptRows()
+	ds, err := FromRows(scriptDims, baseVals, baseMeas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := Materialize(ds, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat.SetCacheBudget(budget)
+
+	cur := make([]shadowRow, 0, len(baseMeas))
+	for i := range baseMeas {
+		cur = append(cur, shadowRow{vals: baseVals[i], meas: baseMeas[i]})
+	}
+	cur = cloneRows(cur)
+	versions := map[uint64][]shadowRow{1: cloneRows(cur)}
+	versionList := []uint64{1}
+	groupBys := scriptGroupBys()
+
+	commits := 0
+	for ops := 0; s.more() && ops < 256; ops++ {
+		switch op := s.next() % 6; op {
+		case 0, 1: // append a batch (appends are twice as likely)
+			n := 1 + int(s.next()%4)
+			rows := make([][]string, n)
+			meas := make([]float64, n)
+			for i := 0; i < n; i++ {
+				row := make([]string, len(scriptDims))
+				for d := range scriptDims {
+					row[d] = scriptVals[d][int(s.next())%len(scriptVals[d])]
+				}
+				rows[i] = row
+				meas[i] = float64(s.next() % 9)
+				cur = append(cur, shadowRow{vals: append([]string(nil), row...), meas: meas[i]})
+			}
+			if err := mat.Append(rows, meas); err != nil {
+				t.Fatalf("append %v: %v", rows, err)
+			}
+		case 2: // delete a batch of currently-available rows
+			if len(cur) == 0 {
+				continue
+			}
+			n := 1 + int(s.next()%3)
+			if n > len(cur) {
+				n = len(cur)
+			}
+			rows := make([][]string, n)
+			meas := make([]float64, n)
+			for i := 0; i < n; i++ {
+				idx := int(s.next()) % len(cur)
+				rows[i] = append([]string(nil), cur[idx].vals...)
+				meas[i] = cur[idx].meas
+				cur[idx] = cur[len(cur)-1]
+				cur = cur[:len(cur)-1]
+			}
+			if err := mat.Delete(rows, meas); err != nil {
+				t.Fatalf("delete %v: %v", rows, err)
+			}
+		case 3: // commit: publish a version, snapshot the model
+			if commits >= 8 {
+				continue
+			}
+			commits++
+			snap, err := mat.Commit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Rows != int64(len(cur)) {
+				t.Fatalf("v%d reports %d rows, model has %d", snap.Version, snap.Rows, len(cur))
+			}
+			versions[snap.Version] = cloneRows(cur)
+			versionList = append(versionList, snap.Version)
+		case 4: // query the current version; the leaf rescan is an inline oracle
+			gb := groupBys[int(s.next())%len(groupBys)]
+			minsup := 1 + int64(s.next()%3)
+			got, stats, err := mat.AnswerStats(gb, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := mat.answerLeafRescan(gb, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g, l := canonCells(got), canonCells(legacy); g != l {
+				t.Fatalf("query %v minsup=%d (stats %+v): serving != leaf rescan:\n%s",
+					gb, minsup, stats, firstDiffLine(l, g))
+			}
+		case 5: // time-travel query spot check: pins the requested version
+			v := versionList[int(s.next())%len(versionList)]
+			gb := groupBys[int(s.next())%len(groupBys)]
+			_, stats, err := mat.AnswerStatsAt(v, gb, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Version != v {
+				t.Fatalf("AnswerStatsAt(%d) served version %d", v, stats.Version)
+			}
+		}
+	}
+
+	// The oracle proper: every committed version, every group-by, two
+	// thresholds — incremental answers equal a scratch rebuild.
+	for _, v := range versionList {
+		ref := scratchMat(t, versions[v])
+		for _, gb := range groupBys {
+			for _, minsup := range []int64{1, 2} {
+				got, err := mat.AnswerAt(v, gb, minsup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := scratchCanon(t, ref, gb, minsup)
+				if g := canonCells(got); g != want {
+					t.Fatalf("v%d %v minsup=%d: incremental != scratch:\n%s",
+						v, gb, minsup, firstDiffLine(want, g))
+				}
+			}
+		}
+	}
+
+	// The current version is the last committed one, and Answer agrees
+	// with AnswerAt on it.
+	last := versionList[len(versionList)-1]
+	if mat.Version() != last {
+		t.Fatalf("Version() = %d, last commit was %d", mat.Version(), last)
+	}
+	got, err := mat.Answer([]string{"A", "B"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := mat.AnswerAt(last, []string{"A", "B"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonCells(got) != canonCells(at) {
+		t.Fatalf("Answer != AnswerAt(current version %d)", last)
+	}
+	snaps := mat.Snapshots()
+	if len(snaps) != len(versionList) {
+		t.Fatalf("%d snapshots retained, committed %d", len(snaps), len(versionList))
+	}
+	for i, sn := range snaps {
+		if sn.Version != versionList[i] {
+			t.Fatalf("snapshot %d has version %d, want %d", i, sn.Version, versionList[i])
+		}
+		if sn.Rows != int64(len(versions[sn.Version])) {
+			t.Fatalf("v%d metadata says %d rows, model has %d", sn.Version, sn.Rows, len(versions[sn.Version]))
+		}
+	}
+}
+
+// seedScripts are handcrafted mutation scripts covering the interesting
+// shapes; they double as the fuzz corpus (f.Add and testdata/fuzz).
+func seedScripts() [][]byte {
+	return [][]byte{
+		// Append-only, one commit, then queries.
+		{0, 0, 2, 1, 1, 1, 3, 9, 2, 4, 3, 4, 1, 0, 4, 6, 1},
+		// Appends introducing unseen dictionary values (index 4/5), commit,
+		// time-travel query, more appends, second commit.
+		{1, 0, 3, 4, 4, 4, 7, 5, 4, 4, 2, 3, 5, 0, 1, 0, 1, 5, 3, 3, 8, 3, 4, 2, 2},
+		// Deletes (including extremes → recompute path), interleaved
+		// queries, three commits.
+		{0, 2, 1, 0, 3, 4, 3, 1, 2, 2, 5, 8, 3, 2, 0, 1, 4, 3, 4, 7, 2, 3, 2, 2, 9, 4, 3, 4, 1, 1},
+		// Append and delete of the same rows inside one batch, commit.
+		{1, 0, 0, 0, 0, 0, 5, 2, 0, 3, 4, 0, 1, 5, 2, 2, 1},
+		// Commit-heavy: many small versions, tight budget.
+		{0, 3, 0, 0, 1, 1, 1, 2, 3, 2, 0, 1, 3, 4, 5, 2, 3, 1, 0, 2, 2, 2, 4, 3, 3, 5, 1, 0, 4, 0, 3},
+	}
+}
+
+// TestIncrementalMaintenanceOracle runs the seeded scripts plus a spread
+// of pseudo-random ones deterministically — fuzzing is gravy, not the
+// only coverage.
+func TestIncrementalMaintenanceOracle(t *testing.T) {
+	for i, seed := range seedScripts() {
+		t.Run(fmt.Sprintf("seed%d", i), func(t *testing.T) {
+			runIncrementalScript(t, seed)
+		})
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("random%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			data := make([]byte, 120)
+			for i := range data {
+				data[i] = byte(rng.Intn(256))
+			}
+			runIncrementalScript(t, data)
+		})
+	}
+}
+
+// FuzzIncrementalMaintenance is the fuzz entry point over the same
+// interpreter; `make fuzz-smoke` gives it a short budget in CI.
+func FuzzIncrementalMaintenance(f *testing.F) {
+	for _, seed := range seedScripts() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			t.Skip("script too long for the smoke budget")
+		}
+		runIncrementalScript(t, data)
+	})
+}
+
+// TestMetamorphicAppendThenDeleteIsValueNoOp: committing a batch that
+// appends rows and deletes those same rows advances the version but must
+// leave every cell of every group-by unchanged.
+func TestMetamorphicAppendThenDeleteIsValueNoOp(t *testing.T) {
+	baseVals, baseMeas := baseScriptRows()
+	ds, err := FromRows(scriptDims, baseVals, baseMeas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := Materialize(ds, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupBys := scriptGroupBys()
+	// Warm the cache so the commit also exercises resident-cuboid folding.
+	before := make([]string, len(groupBys))
+	for i, gb := range groupBys {
+		cells, err := mat.Answer(gb, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = canonCells(cells)
+	}
+
+	batch := [][]string{
+		{"a5", "b4", "c4"}, // entirely new dictionary values
+		{"a0", "b0", "c0"},
+		{"a1", "b2", "c1"},
+	}
+	meas := []float64{3, 100, 0} // 100 would be a new global max if kept
+	if err := mat.Append(batch, meas); err != nil {
+		t.Fatal(err)
+	}
+	if err := mat.Delete(batch, meas); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := mat.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 2 || snap.Appended != 3 || snap.Deleted != 3 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap.Rows != int64(len(baseMeas)) {
+		t.Fatalf("row count changed: %d, want %d", snap.Rows, len(baseMeas))
+	}
+	for i, gb := range groupBys {
+		cells, err := mat.Answer(gb, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := canonCells(cells); got != before[i] {
+			t.Fatalf("%v changed across a value-no-op commit:\n%s", gb, firstDiffLine(before[i], got))
+		}
+	}
+	if mat.Version() != 2 {
+		t.Fatalf("version %d, want 2", mat.Version())
+	}
+}
+
+// TestMetamorphicBatchSplit: committing A∪B in one batch is equivalent to
+// committing A then B — same final answers everywhere (versions differ).
+func TestMetamorphicBatchSplit(t *testing.T) {
+	baseVals, baseMeas := baseScriptRows()
+	ds, err := FromRows(scriptDims, baseVals, baseMeas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Materialize(ds, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Materialize(ds, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batchA := [][]string{{"a4", "b1", "c2"}, {"a0", "b3", "c0"}}
+	measA := []float64{6, 2}
+	delA := [][]string{{baseVals[0][0], baseVals[0][1], baseVals[0][2]}}
+	delMeasA := []float64{baseMeas[0]}
+	batchB := [][]string{{"a4", "b1", "c2"}, {"a2", "b0", "c4"}}
+	measB := []float64{1, 8}
+
+	// Cube one: everything in a single commit.
+	if err := one.Append(batchA, measA); err != nil {
+		t.Fatal(err)
+	}
+	if err := one.Delete(delA, delMeasA); err != nil {
+		t.Fatal(err)
+	}
+	if err := one.Append(batchB, measB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := one.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cube two: split into two commits.
+	if err := two.Append(batchA, measA); err != nil {
+		t.Fatal(err)
+	}
+	if err := two.Delete(delA, delMeasA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := two.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := two.Append(batchB, measB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := two.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if one.Version() != 2 || two.Version() != 3 {
+		t.Fatalf("versions %d/%d, want 2/3", one.Version(), two.Version())
+	}
+	for _, gb := range scriptGroupBys() {
+		for _, minsup := range []int64{1, 2} {
+			a, err := one.Answer(gb, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := two.Answer(gb, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ca, cb := canonCells(a), canonCells(b); ca != cb {
+				t.Fatalf("%v minsup=%d: one-commit != split-commit:\n%s", gb, minsup, firstDiffLine(ca, cb))
+			}
+		}
+	}
+}
+
+// TestConcurrentReadersPinnedVersionsUnderCommits: a writer commits a
+// deterministic sequence of batches while reader goroutines query pinned
+// versions; every answer must match that version's scratch-recompute
+// reference (run under -race in CI — no torn cube, no stale serve).
+func TestConcurrentReadersPinnedVersionsUnderCommits(t *testing.T) {
+	baseVals, baseMeas := baseScriptRows()
+	ds, err := FromRows(scriptDims, baseVals, baseMeas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := Materialize(ds, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat.SetCacheBudget(2 << 10) // eviction pressure while racing
+
+	// Plan the batches and simulate the shadow model up front so the
+	// per-version references exist before the writer starts.
+	const numCommits = 5
+	rng := rand.New(rand.NewSource(97))
+	cur := make([]shadowRow, 0, len(baseMeas))
+	for i := range baseMeas {
+		cur = append(cur, shadowRow{vals: baseVals[i], meas: baseMeas[i]})
+	}
+	cur = cloneRows(cur)
+	type batch struct {
+		appRows [][]string
+		appMeas []float64
+		delRows [][]string
+		delMeas []float64
+	}
+	batches := make([]batch, numCommits)
+	versions := map[uint64][]shadowRow{1: cloneRows(cur)}
+	for c := 0; c < numCommits; c++ {
+		var b batch
+		for i := 0; i < 12; i++ {
+			row := []string{
+				scriptVals[0][rng.Intn(len(scriptVals[0]))],
+				scriptVals[1][rng.Intn(len(scriptVals[1]))],
+				scriptVals[2][rng.Intn(len(scriptVals[2]))],
+			}
+			m := float64(rng.Intn(9))
+			b.appRows = append(b.appRows, row)
+			b.appMeas = append(b.appMeas, m)
+			cur = append(cur, shadowRow{vals: append([]string(nil), row...), meas: m})
+		}
+		for i := 0; i < 6 && len(cur) > 0; i++ {
+			idx := rng.Intn(len(cur))
+			b.delRows = append(b.delRows, append([]string(nil), cur[idx].vals...))
+			b.delMeas = append(b.delMeas, cur[idx].meas)
+			cur[idx] = cur[len(cur)-1]
+			cur = cur[:len(cur)-1]
+		}
+		batches[c] = b
+		versions[uint64(c+2)] = cloneRows(cur)
+	}
+	groupBys := scriptGroupBys()
+	refs := make(map[uint64][]string, numCommits+1)
+	for v, rows := range versions {
+		ref := scratchMat(t, rows)
+		r := make([]string, len(groupBys))
+		for i, gb := range groupBys {
+			r[i] = scratchCanon(t, ref, gb, 2)
+		}
+		refs[v] = r
+	}
+
+	var published atomic.Uint64
+	published.Store(1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the writer
+		defer wg.Done()
+		for _, b := range batches {
+			if err := mat.Append(b.appRows, b.appMeas); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := mat.Delete(b.delRows, b.delMeas); err != nil {
+				t.Error(err)
+				return
+			}
+			snap, err := mat.Commit()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			published.Store(snap.Version)
+		}
+	}()
+
+	const readers = 6
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < 120; i++ {
+				v := 1 + uint64(rng.Int63n(int64(published.Load())))
+				gi := rng.Intn(len(groupBys))
+				cells, stats, err := mat.AnswerStatsAt(v, groupBys[gi], 2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if stats.Version != v {
+					t.Errorf("reader %d: asked v%d, served v%d", g, v, stats.Version)
+					return
+				}
+				if got := canonCells(cells); got != refs[v][gi] {
+					t.Errorf("reader %d v%d %v: torn or stale answer:\n%s",
+						g, v, groupBys[gi], firstDiffLine(refs[v][gi], got))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Post-race sweep: every version still answers exactly.
+	for v, r := range refs {
+		for i, gb := range groupBys {
+			cells, err := mat.AnswerAt(v, gb, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := canonCells(cells); got != r[i] {
+				t.Fatalf("post-race v%d %v: %s", v, gb, firstDiffLine(r[i], got))
+			}
+		}
+	}
+	m := mat.CacheMetrics()
+	if m.ResidentBytes > m.BudgetBytes {
+		t.Fatalf("budget violated under concurrent maintenance: %+v", m)
+	}
+}

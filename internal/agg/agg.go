@@ -64,6 +64,20 @@ func (f Func) Kind() Kind {
 	return Distributive
 }
 
+// Retractable reports whether f's component of a State can be maintained
+// under deletions by pure arithmetic: COUNT and SUM subtract exactly (and
+// AVG derives from them), but MIN/MAX are not invertible — deleting the
+// extreme tuple of a cell requires re-deriving the state from finer data.
+// The incremental-maintenance layer uses this matrix to decide between
+// delta aggregation and lazy re-derivation.
+func (f Func) Retractable() bool {
+	switch f {
+	case Count, Sum, Avg:
+		return true
+	}
+	return false
+}
+
 // State is the constant-size summary kept per cell. It is sufficient for
 // every non-holistic Func and merges across disjoint partitions.
 type State struct {
@@ -100,6 +114,37 @@ func (s *State) Merge(o State) {
 	if o.Max > s.Max {
 		s.Max = o.Max
 	}
+}
+
+// Retract removes o — the aggregate of a subset of s's tuples that is
+// being deleted — from s, returning the retracted state and whether the
+// result is exact. Count and Sum always subtract exactly. Min/Max cannot
+// be inverted from the summary alone: they survive only when every
+// deleted measure lies strictly inside (s.Min, s.Max), i.e. the deletion
+// provably does not touch either extreme. When ok is false the returned
+// state's Count and Sum are still exact but Min/Max are stale; the caller
+// must re-derive the cell from finer data (the leaf, or the raw rows).
+// Retracting every tuple (o.Count == s.Count) yields the exact identity
+// state — an empty cell — so callers can drop it.
+func (s State) Retract(o State) (State, bool) {
+	if o.Count == 0 {
+		return s, true
+	}
+	out := s
+	out.Count -= o.Count
+	out.Sum -= o.Sum
+	if out.Count < 0 {
+		// More tuples retracted than the cell holds — the caller's
+		// bookkeeping is off; force a re-derivation.
+		return out, false
+	}
+	if out.Count == 0 {
+		return NewState(), true
+	}
+	if o.Min <= s.Min || o.Max >= s.Max {
+		return out, false
+	}
+	return out, true
 }
 
 // Value evaluates f over the state. Avg of an empty state is NaN.

@@ -154,3 +154,70 @@ func TestMinSum(t *testing.T) {
 		t.Fatal("MinSum must not prune on tuple counts")
 	}
 }
+
+// TestRetractExact: retraction of an interior subset is exact on every
+// function, and retracting everything yields the identity state.
+func TestRetractExact(t *testing.T) {
+	s := NewState()
+	for _, v := range []float64{1, 3, 5, 9} {
+		s.Add(v)
+	}
+	del := NewState()
+	del.Add(3)
+	del.Add(5)
+	out, ok := s.Retract(del)
+	if !ok {
+		t.Fatalf("interior retraction reported non-retractable: %+v", out)
+	}
+	if out.Count != 2 || out.Sum != 10 || out.Min != 1 || out.Max != 9 {
+		t.Fatalf("wrong retracted state: %+v", out)
+	}
+	all, ok := s.Retract(s)
+	if !ok || all.Count != 0 || all.Min != NewState().Min || all.Max != NewState().Max {
+		t.Fatalf("full retraction should be the exact identity state: %+v ok=%v", all, ok)
+	}
+	same, ok := s.Retract(NewState())
+	if !ok || same != s {
+		t.Fatalf("empty retraction should be the identity: %+v", same)
+	}
+}
+
+// TestRetractExtremes: deleting a tuple that carries the cell's Min or
+// Max is not retractable — Count/Sum stay exact but the caller must
+// re-derive.
+func TestRetractExtremes(t *testing.T) {
+	s := NewState()
+	for _, v := range []float64{1, 3, 9} {
+		s.Add(v)
+	}
+	for _, m := range []float64{1, 9} {
+		del := NewState()
+		del.Add(m)
+		out, ok := s.Retract(del)
+		if ok {
+			t.Fatalf("deleting extreme %g claimed retractable", m)
+		}
+		if out.Count != 2 || out.Sum != s.Sum-m {
+			t.Fatalf("Count/Sum must stay exact on a failed retraction: %+v", out)
+		}
+	}
+	// Over-retraction (caller bug) must not claim exactness either.
+	del := NewState()
+	for i := 0; i < 5; i++ {
+		del.Add(2)
+	}
+	if _, ok := s.Retract(del); ok {
+		t.Fatal("retracting more tuples than the cell holds claimed ok")
+	}
+}
+
+// TestRetractableMatrix pins the per-function retractability DESIGN.md
+// documents.
+func TestRetractableMatrix(t *testing.T) {
+	want := map[Func]bool{Count: true, Sum: true, Avg: true, Min: false, Max: false}
+	for f, w := range want {
+		if f.Retractable() != w {
+			t.Fatalf("%s.Retractable() = %v, want %v", f, f.Retractable(), w)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package exp
+
+import "testing"
+
+// TestIngest_CommitBeatsRecompute: the incremental-maintenance headline,
+// checked live at a small scale — folding a small delta into the leaf and
+// resident cuboids is at least 5× faster than re-running the parallel
+// precomputation over the mutated rows (in practice it is orders of
+// magnitude), and the experiment's internal oracle (incremental leaf ==
+// recomputed leaf, cell for cell counts) passes. Kept light so it runs in
+// `make ingest-smoke` even under -race.
+func TestIngest_CommitBeatsRecompute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ingest experiment: wall-clock measurement")
+	}
+	tbl, err := Ingest(Config{Tuples: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := seriesByName(t, tbl, "commit")
+	recompute := seriesByName(t, tbl, "recompute")
+	if len(commit.Points) != len(ingestFractions) {
+		t.Fatalf("%d commit points, want %d", len(commit.Points), len(ingestFractions))
+	}
+	// The smallest delta is where incremental maintenance must win big.
+	c0, r0 := commit.Points[0].Y, recompute.Points[0].Y
+	if c0 <= 0 {
+		t.Fatalf("non-positive commit time %g", c0)
+	}
+	if r0/c0 < 5 {
+		t.Errorf("smallest delta: commit only %.1f× faster than recompute (%.2fms vs %.2fms)",
+			r0/c0, c0, r0)
+	}
+	// Every swept delta stays cheaper than recomputing.
+	for i, p := range commit.Points {
+		if p.Y >= recompute.Points[i].Y {
+			t.Errorf("delta %.2g%%: commit %.2fms not cheaper than recompute %.2fms",
+				p.X, p.Y, recompute.Points[i].Y)
+		}
+	}
+}

@@ -59,6 +59,15 @@ func Experiments() []Experiment {
 				}
 				return c
 			}},
+		{ID: "ingest", Title: "incremental maintenance: commit vs full recompute", Run: Ingest,
+			// Wall-clock measurement; the delta fractions need a base large
+			// enough that 0.1% is at least a handful of rows.
+			scale: func(c Config) Config {
+				if c.Tuples < 8000 {
+					c.Tuples = 8000
+				}
+				return c
+			}},
 		{ID: "cores", Title: "intra-worker cores wall-clock speedup", Run: Cores,
 			// Real-time measurement wants enough rows for the kernels to
 			// fork; don't shrink below the bench scale.

@@ -1,0 +1,451 @@
+// Package ingest is the incremental-maintenance layer over the serving
+// stack: an append/delete write path whose Commit folds each batch into
+// the materialized leaf cuboid — and into every resident cuboid of the
+// serving cache — by delta aggregation instead of recomputing the cube.
+//
+// Versioning follows the snapshot/commit model of table formats like
+// Iceberg: every Commit publishes an immutable Snapshot (monotonic
+// version, row count, leaf footprint) whose serving state is swapped in
+// atomically. In-flight readers keep aggregating from the version they
+// pinned — cuboids are immutable, so there is no torn-cube window — while
+// new queries see the next version. Old versions stay queryable
+// (time travel) until the cube is released.
+//
+// Aggregate maintenance uses agg.State.Retract: COUNT and SUM subtract
+// exactly; a deletion that touches a cell's MIN/MAX is re-derived from
+// the raw row store at the leaf, and marks a resident cuboid dirty — the
+// dirty cuboid is simply not carried into the new version's cache and is
+// lazily re-derived from the new leaf on its next query.
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/results"
+	"icebergcube/internal/serve"
+)
+
+// Snapshot describes one committed, immutable cube version.
+type Snapshot struct {
+	// Version is the monotonically increasing snapshot id; the snapshot
+	// published by New (the base materialization) is version 1.
+	Version uint64
+	// Rows is the live tuple count at this version.
+	Rows int64
+	// LeafCells and LeafBytes describe the version's leaf cuboid.
+	LeafCells int
+	LeafBytes int64
+	// Appended and Deleted count the tuples of the commit that produced
+	// this version (both zero for the base snapshot and empty commits).
+	Appended int
+	Deleted  int
+	// Folded and Dirty count the previous version's resident cuboids
+	// that were carried forward by delta aggregation vs dropped for lazy
+	// re-derivation because a deletion touched a MIN/MAX extreme.
+	Folded int
+	Dirty  int
+	// Retracted and Recomputed count leaf cells maintained by state
+	// arithmetic vs re-derived from the row store.
+	Retracted  int
+	Recomputed int
+	// CommitSeconds is the host wall-clock cost of the commit (0 for the
+	// base snapshot).
+	CommitSeconds float64
+}
+
+// View is one version's queryable state: its snapshot metadata and the
+// serving server over its immutable leaf.
+type View struct {
+	Snapshot
+	Srv *serve.Server
+}
+
+// rowStore is the raw tuple multiset backing exact re-derivation of
+// non-retractable cells and validation of deletes. Rows are append-only;
+// deletion tombstones them. byKey indexes the live rows of each leaf
+// cell, so re-deriving a cell costs O(cell) rather than O(store).
+type rowStore struct {
+	width     int
+	keys      []uint32 // row-major codes, append-only
+	meas      []float64
+	live      []bool
+	liveCount int
+	byKey     map[string][]int32
+}
+
+func keyString(key []uint32) string {
+	buf := make([]byte, 4*len(key))
+	for i, v := range key {
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+	}
+	return string(buf)
+}
+
+func (rs *rowStore) row(i int32) []uint32 {
+	return rs.keys[int(i)*rs.width : (int(i)+1)*rs.width]
+}
+
+// add appends one live row.
+func (rs *rowStore) add(key []uint32, meas float64) {
+	id := int32(len(rs.meas))
+	rs.keys = append(rs.keys, key...)
+	rs.meas = append(rs.meas, meas)
+	rs.live = append(rs.live, true)
+	rs.liveCount++
+	k := keyString(key)
+	rs.byKey[k] = append(rs.byKey[k], id)
+}
+
+// countMatching returns how many live rows carry exactly (key, meas).
+func (rs *rowStore) countMatching(k string, meas float64) int {
+	n := 0
+	for _, id := range rs.byKey[k] {
+		if rs.meas[id] == meas {
+			n++
+		}
+	}
+	return n
+}
+
+// remove tombstones one live row matching (key, meas), which must exist.
+func (rs *rowStore) remove(k string, meas float64) {
+	ids := rs.byKey[k]
+	for i, id := range ids {
+		if rs.meas[id] == meas {
+			rs.live[id] = false
+			rs.liveCount--
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			if len(ids) == 0 {
+				delete(rs.byKey, k)
+			} else {
+				rs.byKey[k] = ids
+			}
+			return
+		}
+	}
+	panic("ingest: remove of a row the store does not hold")
+}
+
+// state re-derives the exact aggregate of one leaf cell from its live
+// rows (the identity state when the cell is gone).
+func (rs *rowStore) state(key []uint32) agg.State {
+	st := agg.NewState()
+	for _, id := range rs.byKey[keyString(key)] {
+		st.Add(rs.meas[id])
+	}
+	return st
+}
+
+// pendingKey identifies one (key, measure) tuple inside the pending
+// batch for delete-availability accounting.
+func pendingKey(k string, meas float64) string {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(meas))
+	return k + string(buf[:])
+}
+
+// op is one buffered mutation.
+type op struct {
+	del  bool
+	key  []uint32
+	meas float64
+}
+
+// Cube is the incremental-maintenance engine over one materialized leaf.
+// One writer at a time may Append/Delete/Commit (calls are serialized
+// internally); any number of readers may concurrently resolve views and
+// query their servers.
+type Cube struct {
+	width  int
+	budget int64 // 0 = serve.DefaultBudgetBytes
+
+	mu      sync.Mutex // guards store, pending, cards, snaps
+	store   rowStore
+	cards   []int
+	pending []op
+	// pendingNet tracks, per (key, measure), pending appends minus
+	// pending deletes, so Delete can validate availability against
+	// store ∪ pending without replaying the batch.
+	pendingNet map[string]int
+
+	snaps   []*View
+	current atomic.Pointer[View]
+}
+
+// New builds a cube over a freshly materialized leaf. leaf must be the
+// exact aggregation of rows (keys row-major with width columns, one
+// measure per row) — the §5.1 precomputation provides both. cards gives
+// each key column's code cardinality; budgetBytes ≤ 0 selects the
+// serving default. The base state is published as version 1.
+func New(leaf *serve.Cuboid, keys []uint32, meas []float64, cards []int, budgetBytes int64) *Cube {
+	width := leaf.Width
+	c := &Cube{
+		width:  width,
+		budget: budgetBytes,
+		store: rowStore{
+			width: width,
+			byKey: make(map[string][]int32, leaf.Rows()),
+		},
+		cards:      append([]int(nil), cards...),
+		pendingNet: make(map[string]int),
+	}
+	key := make([]uint32, width)
+	for i := range meas {
+		copy(key, keys[i*width:(i+1)*width])
+		c.store.add(key, meas[i])
+	}
+	v := &View{
+		Snapshot: Snapshot{
+			Version:   1,
+			Rows:      int64(len(meas)),
+			LeafCells: leaf.Rows(),
+			LeafBytes: leaf.SizeBytes(),
+		},
+		Srv: serve.NewServer(leaf, cards, budgetBytes),
+	}
+	c.snaps = append(c.snaps, v)
+	c.current.Store(v)
+	return c
+}
+
+// Current returns the newest committed view.
+func (c *Cube) Current() *View { return c.current.Load() }
+
+// At returns the view of one committed version, if it is still retained.
+func (c *Cube) At(version uint64) (*View, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := sort.Search(len(c.snaps), func(i int) bool { return c.snaps[i].Version >= version })
+	if i < len(c.snaps) && c.snaps[i].Version == version {
+		return c.snaps[i], true
+	}
+	return nil, false
+}
+
+// Snapshots returns the metadata of every retained version, ascending.
+func (c *Cube) Snapshots() []Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Snapshot, len(c.snaps))
+	for i, v := range c.snaps {
+		out[i] = v.Snapshot
+	}
+	return out
+}
+
+// Views returns every retained view, ascending by version. The metrics
+// aggregation above sums serving counters across them.
+func (c *Cube) Views() []*View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*View(nil), c.snaps...)
+}
+
+// Retain drops all but the newest keep retained versions (minimum 1 —
+// the current version is never dropped) and returns how many were
+// released. Dropped versions stop resolving through At; views already in
+// readers' hands stay valid, their memory is reclaimed when the readers
+// let go. This is the snapshot-expiration knob long-running writers use
+// to bound retention.
+func (c *Cube) Retain(keep int) int {
+	if keep < 1 {
+		keep = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.snaps) <= keep {
+		return 0
+	}
+	dropped := len(c.snaps) - keep
+	c.snaps = append(c.snaps[:0:0], c.snaps[dropped:]...)
+	return dropped
+}
+
+// SetBudget changes the serving-cache byte budget for the current and
+// all future versions.
+func (c *Cube) SetBudget(bytes int64) {
+	c.mu.Lock()
+	c.budget = bytes
+	c.mu.Unlock()
+	c.Current().Srv.SetBudget(bytes)
+}
+
+// Append buffers rows (row-major keys, one measure each) into the
+// pending batch. Codes may exceed the current cardinalities — the new
+// version's cardinality grows at Commit.
+func (c *Cube) Append(keys []uint32, meas []float64) error {
+	if len(keys) != len(meas)*c.width {
+		return fmt.Errorf("ingest: %d key codes for %d rows of width %d", len(keys), len(meas), c.width)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range meas {
+		key := append([]uint32(nil), keys[i*c.width:(i+1)*c.width]...)
+		c.pending = append(c.pending, op{key: key, meas: meas[i]})
+		c.pendingNet[pendingKey(keyString(key), meas[i])]++
+	}
+	return nil
+}
+
+// Delete buffers row deletions into the pending batch. Every deleted row
+// must be live at the head version or appended earlier in the same
+// batch; a row with no match fails immediately and leaves the batch
+// untouched.
+func (c *Cube) Delete(keys []uint32, meas []float64) error {
+	if len(keys) != len(meas)*c.width {
+		return fmt.Errorf("ingest: %d key codes for %d rows of width %d", len(keys), len(meas), c.width)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type claim struct {
+		pk  string
+		key []uint32
+		m   float64
+	}
+	claims := make([]claim, 0, len(meas))
+	taken := make(map[string]int, len(meas))
+	for i := range meas {
+		key := append([]uint32(nil), keys[i*c.width:(i+1)*c.width]...)
+		k := keyString(key)
+		pk := pendingKey(k, meas[i])
+		avail := c.store.countMatching(k, meas[i]) + c.pendingNet[pk] - taken[pk]
+		if avail <= 0 {
+			return fmt.Errorf("ingest: delete of a row that is not live: key %v measure %g", key, meas[i])
+		}
+		taken[pk]++
+		claims = append(claims, claim{pk: pk, key: key, m: meas[i]})
+	}
+	for _, cl := range claims {
+		c.pending = append(c.pending, op{del: true, key: cl.key, meas: cl.m})
+		c.pendingNet[cl.pk]--
+	}
+	return nil
+}
+
+// Pending returns the buffered, uncommitted mutation count.
+func (c *Cube) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Commit folds the pending batch into the leaf and every resident cuboid
+// of the head version, and publishes the result as a new immutable
+// version. An empty batch still advances the version (the new view
+// shares the old leaf). Readers of older versions are unaffected.
+func (c *Cube) Commit() (Snapshot, error) {
+	start := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	head := c.current.Load()
+
+	// Net the batch into per-cell added/deleted aggregates, applying it
+	// to the row store as we go (Delete validated availability, so the
+	// store removes cannot fail).
+	type cellDelta struct {
+		add, del agg.State
+	}
+	touched := make(map[string]*cellDelta, len(c.pending))
+	order := make([]string, 0, len(c.pending))
+	cell := func(k string) *cellDelta {
+		cd, ok := touched[k]
+		if !ok {
+			cd = &cellDelta{add: agg.NewState(), del: agg.NewState()}
+			touched[k] = cd
+			order = append(order, k)
+		}
+		return cd
+	}
+	appended, deleted := 0, 0
+	cards := append([]int(nil), c.cards...)
+	for _, o := range c.pending {
+		k := keyString(o.key)
+		if o.del {
+			c.store.remove(k, o.meas)
+			cell(k).del.Add(o.meas)
+			deleted++
+		} else {
+			c.store.add(o.key, o.meas)
+			cell(k).add.Add(o.meas)
+			appended++
+			for d, code := range o.key {
+				if int(code) >= cards[d] {
+					cards[d] = int(code) + 1
+				}
+			}
+		}
+	}
+	c.pending = c.pending[:0]
+	clear(c.pendingNet)
+	c.cards = cards
+
+	// Leaf-level delta in ascending tuple order.
+	sort.Slice(order, func(a, b int) bool {
+		return results.CompareTuples(results.DecodeKey(order[a]), results.DecodeKey(order[b])) < 0
+	})
+	delta := &serve.Delta{Width: c.width}
+	for _, k := range order {
+		delta.Keys = append(delta.Keys, results.DecodeKey(k)...)
+		cd := touched[k]
+		delta.Add = append(delta.Add, cd.add)
+		delta.Del = append(delta.Del, cd.del)
+	}
+
+	snap := Snapshot{
+		Version:  head.Version + 1,
+		Rows:     int64(c.store.liveCount),
+		Appended: appended,
+		Deleted:  deleted,
+	}
+
+	newLeaf := head.Srv.Leaf()
+	var folded []*serve.Cuboid
+	if delta.Rows() > 0 {
+		var stats serve.FoldStats
+		var ok bool
+		newLeaf, stats, ok = serve.FoldDelta(head.Srv.Leaf(), delta, c.store.state)
+		if !ok {
+			// Unreachable: the row store always re-derives exactly.
+			return Snapshot{}, fmt.Errorf("ingest: leaf fold failed")
+		}
+		snap.Retracted, snap.Recomputed = stats.Retracted, stats.Recomputed
+
+		// Carry the head's resident cuboids forward: fold the projected
+		// delta into each; a non-retractable projection leaves the
+		// cuboid dirty — it is dropped here and lazily re-derived from
+		// the new leaf when next queried.
+		for _, cub := range head.Srv.Resident() {
+			pd := delta.Project(cub.Mask.Dims())
+			out, _, ok := serve.FoldDelta(cub, pd, nil)
+			if !ok {
+				snap.Dirty++
+				continue
+			}
+			snap.Folded++
+			folded = append(folded, out)
+		}
+	} else {
+		// Empty commit: the new version shares the leaf and keeps every
+		// resident cuboid.
+		folded = head.Srv.Resident()
+		snap.Folded = len(folded)
+	}
+	snap.LeafCells = newLeaf.Rows()
+	snap.LeafBytes = newLeaf.SizeBytes()
+
+	srv := serve.NewServer(newLeaf, c.cards, c.budget)
+	srv.Warm(folded)
+	snap.CommitSeconds = time.Since(start).Seconds()
+	v := &View{Snapshot: snap, Srv: srv}
+	c.snaps = append(c.snaps, v)
+	c.current.Store(v)
+	return snap, nil
+}

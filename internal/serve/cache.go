@@ -18,6 +18,11 @@ type cache struct {
 	bytes  int64
 	ll     *list.List // front = most recently used
 	byMask map[lattice.Mask]*list.Element
+	// gen counts invalidations (reset, remove). An admission carries the
+	// generation its computation started under; a stale admission is
+	// rejected so that a cuboid computed before an invalidation can never
+	// be resurrected after it (see Server.compute).
+	gen uint64
 
 	evictions    int64
 	evictedBytes int64
@@ -51,10 +56,16 @@ func (c *cache) get(m lattice.Mask) (*Cuboid, bool) {
 // outright (the caller still serves it, it just isn't retained), so the
 // resident-bytes invariant bytes ≤ budget holds at all times. Returns
 // whether the cuboid is now resident and how many entries were evicted.
-func (c *cache) add(m lattice.Mask, cub *Cuboid) (admitted bool, evicted int) {
+// gen must be the value of generation() observed before the cuboid's
+// computation began; an intervening reset/remove rejects the admission.
+func (c *cache) add(m lattice.Mask, cub *Cuboid, gen uint64) (admitted bool, evicted int) {
 	size := cub.SizeBytes()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if gen != c.gen {
+		c.rejected++
+		return false, 0
+	}
 	if el, ok := c.byMask[m]; ok {
 		// A concurrent filler won the race; keep the resident copy.
 		c.ll.MoveToFront(el)
@@ -88,10 +99,13 @@ func (c *cache) evict(el *list.Element) {
 	c.evictedBytes += e.cub.SizeBytes()
 }
 
-// remove drops one mask if resident.
+// remove drops one mask if resident. It always advances the generation —
+// even when the mask is not resident — because an in-flight computation
+// for it may be about to admit a copy the caller wants gone.
 func (c *cache) remove(m lattice.Mask) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
 	if el, ok := c.byMask[m]; ok {
 		e := el.Value.(*centry)
 		c.ll.Remove(el)
@@ -104,9 +118,17 @@ func (c *cache) remove(m lattice.Mask) {
 func (c *cache) reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
 	c.ll.Init()
 	clear(c.byMask)
 	c.bytes = 0
+}
+
+// generation returns the invalidation counter; see add.
+func (c *cache) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }
 
 // setBudget installs a new byte budget, evicting from the LRU tail until
@@ -139,4 +161,17 @@ func (c *cache) residentMasks(dst []maskSize) []maskSize {
 type maskSize struct {
 	mask lattice.Mask
 	rows int
+}
+
+// resident returns the resident cuboids in recency order (most recently
+// used first). The snapshot-commit path folds each of them forward into
+// the next version's cache.
+func (c *cache) resident() []*Cuboid {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Cuboid, 0, len(c.byMask))
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*centry).cub)
+	}
+	return out
 }

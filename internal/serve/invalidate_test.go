@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"testing"
+
+	"icebergcube/internal/lattice"
+)
+
+// Regression tests for cache mutation racing a miss-coalesced
+// computation: before the generation guard, a Reset or Invalidate that
+// landed between a miss's aggregation and its admission was silently
+// undone — the stale cuboid was admitted right after the invalidation
+// returned. With incremental maintenance that is a correctness bug (an
+// invalidated pre-commit cuboid must never resurface), so admissions now
+// carry the cache generation observed before the computation started.
+
+// TestResetDuringInflightComputationNotReadmitted: a Reset interleaved
+// into an in-flight miss must leave the cache empty after the query
+// returns.
+func TestResetDuringInflightComputationNotReadmitted(t *testing.T) {
+	leaf, cards := buildLeaf([]int{5, 4, 3}, 400, 7)
+	s := NewServer(leaf, cards, 0)
+	q := lattice.MaskOf(0, 1)
+	s.testBeforeAdmit = func() { s.Reset() }
+	cub, stats, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Admitted {
+		t.Fatalf("stale cuboid reported admitted after Reset: %+v", stats)
+	}
+	checkCuboid(t, leaf, q, cub) // the answer itself must still be right
+	s.testBeforeAdmit = nil
+	if _, ok := s.cache.get(q); ok {
+		t.Fatal("cuboid resurrected into a cache Reset was supposed to empty")
+	}
+	if m := s.Stats(); m.ResidentBytes != 0 || m.ResidentCuboids != 0 {
+		t.Fatalf("cache not empty after Reset raced an admission: %+v", m)
+	}
+}
+
+// TestInvalidateDuringInflightComputationNotReadmitted: same for a
+// targeted Invalidate of the in-flight mask.
+func TestInvalidateDuringInflightComputationNotReadmitted(t *testing.T) {
+	leaf, cards := buildLeaf([]int{5, 4, 3}, 400, 9)
+	s := NewServer(leaf, cards, 0)
+	q := lattice.MaskOf(1, 2)
+	s.testBeforeAdmit = func() { s.Invalidate(q) }
+	if _, _, err := s.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	s.testBeforeAdmit = nil
+	if _, ok := s.cache.get(q); ok {
+		t.Fatal("cuboid resurrected after Invalidate raced its admission")
+	}
+}
+
+// TestSetBudgetDuringInflightComputation: shrinking the budget mid-miss
+// must leave the byte invariant intact whether or not the admission goes
+// through, and the admission must respect the new, smaller budget.
+func TestSetBudgetDuringInflightComputation(t *testing.T) {
+	leaf, cards := buildLeaf([]int{6, 5, 4}, 600, 11)
+	s := NewServer(leaf, cards, 0)
+	q := lattice.MaskOf(0, 1, 2)
+	s.testBeforeAdmit = func() { s.SetBudget(1) } // smaller than any cuboid
+	_, stats, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.testBeforeAdmit = nil
+	if stats.Admitted {
+		t.Fatalf("cuboid admitted past a 1-byte budget: %+v", stats)
+	}
+	if m := s.Stats(); m.ResidentBytes > m.BudgetBytes {
+		t.Fatalf("budget invariant violated: %+v", m)
+	}
+}
+
+// TestWarmSeedsResidency: Warm pre-admits cuboids that then serve as
+// cache hits, preserving the recency order of the input.
+func TestWarmSeedsResidency(t *testing.T) {
+	leaf, cards := buildLeaf([]int{5, 4, 3}, 400, 13)
+	s := NewServer(leaf, cards, 0)
+	for _, q := range []lattice.Mask{lattice.MaskOf(0), lattice.MaskOf(1), lattice.MaskOf(0, 2)} {
+		if _, _, err := s.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resident := s.Resident()
+	if len(resident) != 3 {
+		t.Fatalf("%d resident cuboids, want 3", len(resident))
+	}
+	// A fresh server warmed with them serves every one as a hit, and
+	// keeps the same recency order.
+	s2 := NewServer(leaf, cards, 0)
+	s2.Warm(resident)
+	for _, cub := range resident {
+		_, stats, err := s2.Query(cub.Mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.CacheHit {
+			t.Fatalf("warmed cuboid %b missed: %+v", cub.Mask, stats)
+		}
+	}
+	r2 := s2.Resident()
+	if len(r2) != len(resident) {
+		t.Fatalf("warmed residency %d, want %d", len(r2), len(resident))
+	}
+}

@@ -96,6 +96,12 @@ type Server struct {
 
 	scratch sync.Pool // *relation.Scratch, one per aggregating goroutine
 
+	// testBeforeAdmit, when set, runs between a miss's aggregation and
+	// its cache admission — the window the generation guard protects.
+	// Tests use it to interleave Reset/Invalidate/SetBudget
+	// deterministically with an in-flight computation.
+	testBeforeAdmit func()
+
 	queries   atomic.Int64
 	hits      atomic.Int64
 	coalesced atomic.Int64
@@ -197,6 +203,13 @@ func (s *Server) Query(q lattice.Mask) (*Cuboid, QueryStats, error) {
 func (s *Server) compute(q lattice.Mask) (*Cuboid, QueryStats) {
 	stats := QueryStats{Query: q}
 
+	// Capture the cache generation before reading any resident state: if
+	// a Reset or Invalidate lands while we aggregate, the admission below
+	// is rejected instead of resurrecting a cuboid the invalidation was
+	// meant to drop. The served answer itself stays valid — it was
+	// aggregated from the immutable leaf or an immutable ancestor copy.
+	gen := s.cache.generation()
+
 	// Candidate ancestors: every cached cuboid plus the pinned leaf.
 	resident := s.cache.residentMasks(make([]maskSize, 0, 16))
 	resident = append(resident, maskSize{mask: s.leaf.Mask, rows: s.leaf.Rows()})
@@ -244,11 +257,43 @@ func (s *Server) compute(q lattice.Mask) (*Cuboid, QueryStats) {
 	cub := aggregateFrom(src, q, cols, cards, sc)
 	s.scratch.Put(sc)
 
+	if s.testBeforeAdmit != nil {
+		s.testBeforeAdmit()
+	}
+
 	stats.ServedFrom = from
 	stats.CellsScanned = src.Rows()
 	stats.ResultCells = cub.Rows()
-	stats.Admitted, stats.Evicted = s.cache.add(q, cub)
+	stats.Admitted, stats.Evicted = s.cache.add(q, cub, gen)
 	return cub, stats
+}
+
+// Resident returns the cached (non-leaf) cuboids in recency order, most
+// recently used first. The cuboids are immutable; the commit path folds
+// each one forward into the next snapshot's server.
+func (s *Server) Resident() []*Cuboid { return s.cache.resident() }
+
+// Warm pre-admits cuboids into the cache. cubs is in recency order, most
+// recently used first (the order Resident returns); admission runs in
+// reverse so the resulting LRU order matches. The snapshot-commit path
+// seeds a new version's server with the previous version's folded
+// residents so that commit does not cool the cache; admissions respect
+// the byte budget like any other.
+func (s *Server) Warm(cubs []*Cuboid) {
+	for i := len(cubs) - 1; i >= 0; i-- {
+		cub := cubs[i]
+		if cub.Mask == s.leaf.Mask {
+			continue
+		}
+		s.cache.add(cub.Mask, cub, s.cache.generation())
+	}
+}
+
+// Budget returns the configured cache byte budget.
+func (s *Server) Budget() int64 {
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	return s.cache.budget
 }
 
 // Stats returns the cumulative serving metrics.

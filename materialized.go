@@ -3,10 +3,13 @@ package icebergcube
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 
 	"icebergcube/internal/agg"
 	"icebergcube/internal/core"
 	"icebergcube/internal/exp"
+	"icebergcube/internal/ingest"
 	"icebergcube/internal/lattice"
 	"icebergcube/internal/results"
 	"icebergcube/internal/serve"
@@ -20,17 +23,84 @@ import (
 // rewritten to aggregate from the smallest already-resident ancestor
 // cuboid (the leaf is only the worst case), and computed cuboids are
 // retained in a byte-budgeted LRU cache so repeated and nearby query
-// shapes amortize to near-lookup cost. Safe for concurrent queries.
+// shapes amortize to near-lookup cost.
+//
+// Unlike the paper's compute-once plan, the cube is maintainable: Append
+// and Delete batch row mutations into a pending delta, and Commit folds
+// the delta into the leaf and every resident cuboid by delta aggregation
+// (agg.State.Retract), publishing an immutable versioned Snapshot.
+// Readers are never blocked and never see a torn cube: queries resolve
+// the current version once and serve from its immutable state, and
+// AnswerAt pins any retained version explicitly (time travel).
+//
+// Safe for concurrent queries; Append/Delete/Commit may run concurrently
+// with queries (writes are serialized internally).
 type Materialized struct {
-	ds     *Dataset
-	dims   []int
-	attrs  []string
-	pos    map[string]int // attribute name → materialized position
-	minsup int64
-	cells  *results.Set
-	srv    *serve.Server
+	ds    *Dataset
+	dims  []int
+	attrs []string
+	pos   map[string]int // attribute name → materialized position
+	cube  *ingest.Cube
+
+	// ext extends the dataset's dictionary with values first seen by
+	// Append: per materialized position, codes ≥ ext[p].base decode
+	// through ext[p].values. Guarded by extMu; the base code space is
+	// immutable and read without locking.
+	extMu sync.RWMutex
+	ext   []extDim
+
 	// PrecomputeSeconds is the simulated parallel precomputation time.
 	PrecomputeSeconds float64
+}
+
+// extDim is one dimension's dictionary extension for appended values.
+type extDim struct {
+	base   int // codes < base belong to the dataset's own dictionary
+	codes  map[string]uint32
+	values []string
+}
+
+// Snapshot describes one committed, immutable cube version.
+type Snapshot struct {
+	// Version is the monotonically increasing snapshot id; Materialize
+	// publishes version 1.
+	Version uint64
+	// Rows is the live tuple count at this version.
+	Rows int64
+	// Cells and Bytes describe this version's leaf cuboid.
+	Cells int
+	Bytes int64
+	// Appended and Deleted count the tuples of the commit that produced
+	// this version.
+	Appended int
+	Deleted  int
+	// FoldedCuboids and DirtyCuboids count the resident cuboids carried
+	// into this version by delta aggregation vs dropped for lazy
+	// re-derivation (a deletion touched their MIN/MAX).
+	FoldedCuboids int
+	DirtyCuboids  int
+	// RetractedCells and RecomputedCells split the leaf maintenance work
+	// by mechanism: exact state arithmetic vs re-derivation from rows.
+	RetractedCells  int
+	RecomputedCells int
+	// CommitSeconds is the host wall-clock cost of the commit.
+	CommitSeconds float64
+}
+
+func publicSnapshot(s ingest.Snapshot) Snapshot {
+	return Snapshot{
+		Version:         s.Version,
+		Rows:            s.Rows,
+		Cells:           s.LeafCells,
+		Bytes:           s.LeafBytes,
+		Appended:        s.Appended,
+		Deleted:         s.Deleted,
+		FoldedCuboids:   s.Folded,
+		DirtyCuboids:    s.Dirty,
+		RetractedCells:  s.Retracted,
+		RecomputedCells: s.Recomputed,
+		CommitSeconds:   s.CommitSeconds,
+	}
 }
 
 // ServeStats reports how one Answer was served — which resident cuboid
@@ -51,9 +121,14 @@ type ServeStats struct {
 	CellsScanned int
 	// Admitted reports the computed cuboid was retained in the cache.
 	Admitted bool
+	// Version is the snapshot the answer was served at.
+	Version uint64
 }
 
-// CacheMetrics are the serving layer's cumulative counters.
+// CacheMetrics are the serving layer's cumulative counters. Traffic
+// counters accumulate across snapshots (a commit swaps the serving state
+// but does not reset observability); occupancy fields describe the
+// current version's cache.
 type CacheMetrics struct {
 	// Queries, CacheHits and Coalesced count Answer traffic: total,
 	// answered from a resident cuboid, and piggybacked on a concurrent
@@ -79,7 +154,8 @@ type CacheMetrics struct {
 // dimensions) in parallel on `workers` simulated nodes. The cuboid is kept
 // at minimum support 1 — exactly as the paper's §5.1 plan does — because a
 // filtered leaf would undercount coarser group-bys (cells below the floor
-// still contribute to their ancestors' aggregates).
+// still contribute to their ancestors' aggregates). The result is
+// published as snapshot version 1.
 func Materialize(ds *Dataset, dims []string, workers int) (*Materialized, error) {
 	idx, err := ds.resolveDims(dims)
 	if err != nil {
@@ -103,10 +179,12 @@ func Materialize(ds *Dataset, dims []string, workers int) (*Materialized, error)
 	attrs := make([]string, len(idx))
 	pos := make(map[string]int, len(idx))
 	cards := make([]int, len(idx))
+	ext := make([]extDim, len(idx))
 	for i, d := range idx {
 		attrs[i] = ds.rel.Name(d)
 		pos[attrs[i]] = i
 		cards[i] = ds.rel.Card(d)
+		ext[i] = extDim{base: cards[i], codes: make(map[string]uint32)}
 	}
 	var fullMask lattice.Mask
 	for p := range idx {
@@ -114,40 +192,182 @@ func Materialize(ds *Dataset, dims []string, workers int) (*Materialized, error)
 	}
 	keys, states := set.CuboidColumns(fullMask)
 	leaf := &serve.Cuboid{Mask: fullMask, Width: len(idx), Keys: keys, States: states}
+
+	// The raw rows, projected onto the materialized dimensions, back the
+	// write path: exact re-derivation of non-retractable cells and
+	// delete validation.
+	n := ds.rel.Len()
+	rowKeys := make([]uint32, 0, n*len(idx))
+	meas := make([]float64, n)
+	for row := 0; row < n; row++ {
+		for _, d := range idx {
+			rowKeys = append(rowKeys, ds.rel.Value(d, row))
+		}
+		meas[row] = ds.rel.Measure(row)
+	}
+
 	return &Materialized{
 		ds:                ds,
 		dims:              idx,
 		attrs:             attrs,
 		pos:               pos,
-		minsup:            1,
-		cells:             set,
-		srv:               serve.NewServer(leaf, cards, 0),
+		cube:              ingest.New(leaf, rowKeys, meas, cards, 0),
+		ext:               ext,
 		PrecomputeSeconds: rep.Makespan,
 	}, nil
 }
 
 // SetCacheBudget resizes the serving cache's byte budget (≤ 0 restores
-// the default), evicting least-recently-used cuboids until the resident
-// set fits. The leaf is pinned outside the budget.
-func (m *Materialized) SetCacheBudget(bytes int64) { m.srv.SetBudget(bytes) }
+// the default) for the current and all future snapshots, evicting
+// least-recently-used cuboids until the resident set fits. The leaf is
+// pinned outside the budget.
+func (m *Materialized) SetCacheBudget(bytes int64) { m.cube.SetBudget(bytes) }
 
-// ResetCache drops every cached cuboid (the leaf stays resident).
-func (m *Materialized) ResetCache() { m.srv.Reset() }
+// ResetCache drops every cached cuboid of the current snapshot (the leaf
+// stays resident).
+func (m *Materialized) ResetCache() { m.cube.Current().Srv.Reset() }
 
-// CacheMetrics returns the serving layer's cumulative counters.
+// CacheMetrics returns the serving layer's cumulative counters, summed
+// across snapshots (see the type's doc).
 func (m *Materialized) CacheMetrics() CacheMetrics {
-	s := m.srv.Stats()
-	return CacheMetrics{
-		Queries:              s.Queries,
-		CacheHits:            s.CacheHits,
-		Coalesced:            s.Coalesced,
-		LeafAggregations:     s.LeafAggregations,
-		AncestorAggregations: s.AncestorAggregations,
-		Evictions:            s.Evictions,
-		ResidentBytes:        s.ResidentBytes,
-		ResidentCuboids:      s.ResidentCuboids,
-		BudgetBytes:          s.BudgetBytes,
+	var out CacheMetrics
+	views := m.cube.Views()
+	for _, v := range views {
+		s := v.Srv.Stats()
+		out.Queries += s.Queries
+		out.CacheHits += s.CacheHits
+		out.Coalesced += s.Coalesced
+		out.LeafAggregations += s.LeafAggregations
+		out.AncestorAggregations += s.AncestorAggregations
+		out.Evictions += s.Evictions
 	}
+	cur := views[len(views)-1].Srv.Stats()
+	out.ResidentBytes = cur.ResidentBytes
+	out.ResidentCuboids = cur.ResidentCuboids
+	out.BudgetBytes = cur.BudgetBytes
+	return out
+}
+
+// RetainSnapshots drops all but the newest keep committed versions
+// (minimum 1) and returns how many were released — the snapshot-
+// expiration knob for long-running writers. Dropped versions stop
+// resolving through AnswerAt.
+func (m *Materialized) RetainSnapshots(keep int) int { return m.cube.Retain(keep) }
+
+// Version returns the current snapshot version.
+func (m *Materialized) Version() uint64 { return m.cube.Current().Version }
+
+// Snapshots returns the metadata of every retained version, ascending.
+func (m *Materialized) Snapshots() []Snapshot {
+	snaps := m.cube.Snapshots()
+	out := make([]Snapshot, len(snaps))
+	for i, s := range snaps {
+		out[i] = publicSnapshot(s)
+	}
+	return out
+}
+
+// Append batches rows into the pending delta: one string value per
+// materialized dimension plus a measure per row, exactly like FromRows.
+// Values never seen before extend the dictionary (for synthetic data
+// sets, values must be the decimal code strings Answer returns). Nothing
+// is visible to queries until Commit.
+func (m *Materialized) Append(rows [][]string, measures []float64) error {
+	keys, err := m.encodeRows(rows, measures, true)
+	if err != nil {
+		return err
+	}
+	return m.cube.Append(keys, measures)
+}
+
+// Delete batches row deletions into the pending delta. Every row must
+// match a live (not yet deleted) tuple — same dimension values, same
+// measure — at the current version or appended earlier in this batch;
+// otherwise Delete fails and leaves the batch untouched. Nothing is
+// visible to queries until Commit.
+func (m *Materialized) Delete(rows [][]string, measures []float64) error {
+	keys, err := m.encodeRows(rows, measures, false)
+	if err != nil {
+		return err
+	}
+	return m.cube.Delete(keys, measures)
+}
+
+// Commit folds the pending Append/Delete batch into the leaf and every
+// resident cuboid, and publishes the result as a new immutable snapshot.
+// In-flight readers keep the version they started on; queries issued
+// after Commit returns see the new one. An empty batch still advances
+// the version.
+func (m *Materialized) Commit() (Snapshot, error) {
+	s, err := m.cube.Commit()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return publicSnapshot(s), nil
+}
+
+// encodeRows dictionary-encodes string rows for the write path. extend
+// assigns fresh codes to unseen values (Append); without it an unseen
+// value is an error (Delete — the row cannot be live).
+func (m *Materialized) encodeRows(rows [][]string, measures []float64, extend bool) ([]uint32, error) {
+	if len(rows) != len(measures) {
+		return nil, fmt.Errorf("icebergcube: %d rows but %d measures", len(rows), len(measures))
+	}
+	keys := make([]uint32, 0, len(rows)*len(m.dims))
+	for i, row := range rows {
+		if len(row) != len(m.dims) {
+			return nil, fmt.Errorf("icebergcube: row %d has %d values, want %d", i, len(row), len(m.dims))
+		}
+		for p, v := range row {
+			code, err := m.encodeValue(p, v, extend)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, code)
+		}
+	}
+	return keys, nil
+}
+
+// encodeValue maps one dimension value to its code, consulting the
+// dataset dictionary first, then the extension layer.
+func (m *Materialized) encodeValue(p int, v string, extend bool) (uint32, error) {
+	if m.ds.dict != nil {
+		if c, ok := m.ds.dict.Encoders[m.dims[p]].Lookup(v); ok {
+			return c, nil
+		}
+		m.extMu.Lock()
+		defer m.extMu.Unlock()
+		e := &m.ext[p]
+		if c, ok := e.codes[v]; ok {
+			return c, nil
+		}
+		if !extend {
+			return 0, fmt.Errorf("icebergcube: unknown value %q for dimension %q", v, m.attrs[p])
+		}
+		c := uint32(e.base + len(e.values))
+		e.codes[v] = c
+		e.values = append(e.values, v)
+		return c, nil
+	}
+	// Synthetic data sets have no dictionary: values are the canonical
+	// decimal code strings Answer produces.
+	code, err := strconv.ParseUint(v, 10, 32)
+	if err != nil || strconv.FormatUint(code, 10) != v {
+		return 0, fmt.Errorf("icebergcube: synthetic dimension %q needs a decimal code value, got %q", m.attrs[p], v)
+	}
+	return uint32(code), nil
+}
+
+// decodeValue renders one materialized dimension's code: the dataset
+// dictionary for base codes, the extension layer for appended values.
+func (m *Materialized) decodeValue(p int, code uint32) string {
+	if m.ds.dict == nil || int(code) < m.ext[p].base {
+		return m.ds.decode(m.dims[p], code)
+	}
+	m.extMu.RLock()
+	defer m.extMu.RUnlock()
+	return m.ext[p].values[int(code)-m.ext[p].base]
 }
 
 // resolveGroupBy maps groupBy names to ascending materialized positions
@@ -167,11 +387,12 @@ func (m *Materialized) resolveGroupBy(groupBy []string) ([]int, lattice.Mask, er
 	return mask.Dims(), mask, nil
 }
 
-// Answer computes one iceberg group-by from the materialized cuboid:
-// SELECT groupBy..., aggregates HAVING COUNT(*) >= minSupport, for any
-// threshold — the minsup-1 leaf loses nothing. groupBy must be a
-// duplicate-free subset of the materialized dimensions. Cells come back
-// in ascending value-tuple order, the same order Result.Cuboid uses.
+// Answer computes one iceberg group-by from the materialized cuboid at
+// the current snapshot: SELECT groupBy..., aggregates HAVING COUNT(*) >=
+// minSupport, for any threshold — the minsup-1 leaf loses nothing.
+// groupBy must be a duplicate-free subset of the materialized dimensions.
+// Cells come back in ascending value-tuple order, the same order
+// Result.Cuboid uses.
 func (m *Materialized) Answer(groupBy []string, minSupport int64) ([]Cell, error) {
 	cells, _, err := m.AnswerStats(groupBy, minSupport)
 	return cells, err
@@ -180,6 +401,28 @@ func (m *Materialized) Answer(groupBy []string, minSupport int64) ([]Cell, error
 // AnswerStats is Answer plus serving observability: which resident cuboid
 // answered, whether it was a cache hit, and how many cells were scanned.
 func (m *Materialized) AnswerStats(groupBy []string, minSupport int64) ([]Cell, ServeStats, error) {
+	return m.answerView(m.cube.Current(), groupBy, minSupport)
+}
+
+// AnswerAt is Answer pinned to a committed snapshot version — the
+// time-travel read path. The answer is exactly what Answer returned (or
+// would have returned) while that version was current.
+func (m *Materialized) AnswerAt(version uint64, groupBy []string, minSupport int64) ([]Cell, error) {
+	cells, _, err := m.AnswerStatsAt(version, groupBy, minSupport)
+	return cells, err
+}
+
+// AnswerStatsAt is AnswerAt plus serving observability.
+func (m *Materialized) AnswerStatsAt(version uint64, groupBy []string, minSupport int64) ([]Cell, ServeStats, error) {
+	v, ok := m.cube.At(version)
+	if !ok {
+		return nil, ServeStats{}, fmt.Errorf("icebergcube: unknown snapshot version %d", version)
+	}
+	return m.answerView(v, groupBy, minSupport)
+}
+
+// answerView serves one group-by from one pinned snapshot.
+func (m *Materialized) answerView(v *ingest.View, groupBy []string, minSupport int64) ([]Cell, ServeStats, error) {
 	if minSupport < 1 {
 		minSupport = 1
 	}
@@ -187,7 +430,7 @@ func (m *Materialized) AnswerStats(groupBy []string, minSupport int64) ([]Cell, 
 	if err != nil {
 		return nil, ServeStats{}, err
 	}
-	cub, qs, err := m.srv.Query(mask)
+	cub, qs, err := v.Srv.Query(mask)
 	if err != nil {
 		return nil, ServeStats{}, err
 	}
@@ -201,6 +444,7 @@ func (m *Materialized) AnswerStats(groupBy []string, minSupport int64) ([]Cell, 
 		Coalesced:    qs.Coalesced,
 		CellsScanned: qs.CellsScanned,
 		Admitted:     qs.Admitted,
+		Version:      v.Version,
 	}
 	cond := agg.MinSupport(minSupport)
 	cells := make([]Cell, 0, cub.Rows())
@@ -212,7 +456,7 @@ func (m *Materialized) AnswerStats(groupBy []string, minSupport int64) ([]Cell, 
 		values := make([]string, len(order))
 		if cub.Width > 0 {
 			for j, c := range cub.Row(i) {
-				values[j] = m.ds.decode(m.dims[order[j]], c)
+				values[j] = m.decodeValue(order[j], c)
 			}
 		}
 		cells = append(cells, Cell{
@@ -238,21 +482,21 @@ func (m *Materialized) maskAttrs(mask lattice.Mask) []string {
 	return names
 }
 
-// invalidate drops one group-by from the serving cache; benchmarks use it
-// to measure the miss path repeatedly.
+// invalidate drops one group-by from the current snapshot's serving
+// cache; benchmarks use it to measure the miss path repeatedly.
 func (m *Materialized) invalidate(groupBy []string) error {
 	_, mask, err := m.resolveGroupBy(groupBy)
 	if err != nil {
 		return err
 	}
-	m.srv.Invalidate(mask)
+	m.cube.Current().Srv.Invalidate(mask)
 	return nil
 }
 
-// answerLeafRescan is the pre-serving-layer Answer: rescan every leaf
-// cell through a string-keyed map, whatever the query shape. It is kept
-// as the differential reference the oracle suite and the serving
-// benchmarks compare against.
+// answerLeafRescan is the pre-serving-layer Answer: rescan every cell of
+// the current snapshot's leaf through a string-keyed map, whatever the
+// query shape. It is kept as the differential reference the oracle suite
+// and the serving benchmarks compare against.
 func (m *Materialized) answerLeafRescan(groupBy []string, minSupport int64) ([]Cell, error) {
 	if minSupport < 1 {
 		minSupport = 1
@@ -267,26 +511,23 @@ func (m *Materialized) answerLeafRescan(groupBy []string, minSupport int64) ([]C
 	}
 
 	// Aggregate the leaf cuboid's cells onto the requested attributes.
-	var fullMask lattice.Mask
-	for p := range m.dims {
-		fullMask |= 1 << uint(p)
-	}
+	leaf := m.cube.Current().Srv.Leaf()
 	groups := make(map[string]agg.State)
-	for k, st := range m.cells.Cuboid(fullMask) {
-		key := results.DecodeKey(k)
+	for i := 0; i < leaf.Rows(); i++ {
+		key := leaf.Row(i)
 		sub := make([]byte, 4*len(order))
-		for i, p := range order {
+		for j, p := range order {
 			v := key[p]
-			sub[4*i] = byte(v)
-			sub[4*i+1] = byte(v >> 8)
-			sub[4*i+2] = byte(v >> 16)
-			sub[4*i+3] = byte(v >> 24)
+			sub[4*j] = byte(v)
+			sub[4*j+1] = byte(v >> 8)
+			sub[4*j+2] = byte(v >> 16)
+			sub[4*j+3] = byte(v >> 24)
 		}
 		g, ok := groups[string(sub)]
 		if !ok {
 			g = agg.NewState()
 		}
-		g.Merge(st)
+		g.Merge(leaf.States[i])
 		groups[string(sub)] = g
 	}
 
@@ -311,7 +552,7 @@ func (m *Materialized) answerLeafRescan(groupBy []string, minSupport int64) ([]C
 		}
 		values := make([]string, len(codes))
 		for i, c := range codes {
-			values[i] = m.ds.decode(m.dims[order[i]], c)
+			values[i] = m.decodeValue(order[i], c)
 		}
 		cells = append(cells, Cell{
 			Attrs:  attrs,
@@ -326,5 +567,5 @@ func (m *Materialized) answerLeafRescan(groupBy []string, minSupport int64) ([]C
 	return cells, nil
 }
 
-// NumCells returns the materialized cuboid's cell count.
-func (m *Materialized) NumCells() int { return m.cells.NumCells() }
+// NumCells returns the current snapshot's leaf cell count.
+func (m *Materialized) NumCells() int { return m.cube.Current().Srv.Leaf().Rows() }
