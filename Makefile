@@ -4,8 +4,10 @@ FUZZTIME ?= 30s
 FUZZ_TARGETS := FuzzDifferential FuzzMetamorphic FuzzHashTree FuzzEncodeRoundTrip FuzzSortKernel
 # Root-package fuzz targets (seed corpus under testdata/fuzz/).
 FUZZ_TARGETS_ROOT := FuzzIncrementalMaintenance
+# WAL fuzz targets (seed corpus under internal/wal/testdata/fuzz/).
+FUZZ_TARGETS_WAL := FuzzWALReplay
 
-.PHONY: build vet test short race chaos fuzz corpus serve-smoke ingest-smoke bench-smoke
+.PHONY: build vet test short race chaos fuzz corpus serve-smoke ingest-smoke wal-smoke bench-smoke
 
 # The chaos suite: fault injection, failure detection and recovery tests
 # across the transport, scheduler, distributed-cube and POL layers. Every
@@ -47,10 +49,16 @@ fuzz:
 		echo "== $$t =="; \
 		go test . -run '^$$' -fuzz "^$$t\$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+	@for t in $(FUZZ_TARGETS_WAL); do \
+		echo "== $$t =="; \
+		go test ./internal/wal -run '^$$' -fuzz "^$$t\$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
 
-# Regenerate the checked-in seed corpus from internal/oracle/seeds.go.
+# Regenerate the checked-in seed corpora: the oracle corpus from
+# internal/oracle/seeds.go, the WAL replay corpus from fuzzSeedLogs.
 corpus:
 	go run ./internal/oracle/gencorpus
+	WAL_GENCORPUS=1 go test ./internal/wal -run TestGenWALCorpus -count=1
 
 # The serving layer's correctness surface under -race: the internal/serve
 # unit suite (cache invariants, singleflight, ancestor selection), the
@@ -74,10 +82,21 @@ ingest-smoke:
 	go test -race -timeout 10m -count=1 -run 'IncrementalMaintenance|Metamorphic|ConcurrentReadersPinned' .
 	go test -race -timeout 10m -count=1 -run 'TestIngest_' ./internal/exp
 
+# The durability correctness surface under -race: the internal/wal unit
+# suite (framing, rotation, torn-tail and bit-flip truncation, transient
+# retry, the FaultFS crash sweep), the ingest crash-recovery oracle (kill
+# at every mutating filesystem op — with and without bit flips — and
+# prove the recovered cube is cell-for-cell a committed prefix), and the
+# root-package durable round trip (dictionary extensions, time travel,
+# on-disk restart).
+wal-smoke:
+	go test -race -timeout 10m -count=1 ./internal/wal ./internal/ingest
+	go test -race -timeout 10m -count=1 -run 'Durable|OpenDurable' .
+
 # One pass over the paper-figure benchmarks, snapshotted to BENCH_<date>.json
 # and gated against bench/baseline.json. Only allocs/op regressions fail —
 # the sort/partition kernels are zero-allocation in steady state, so the
 # count is deterministic; ns/op on shared runners is too noisy to gate.
 bench-smoke:
-	go test -run xxx -bench 'BenchmarkFig|BenchmarkSec5_1|BenchmarkServe|BenchmarkCommit|BenchmarkIngest' -benchmem -benchtime 1x -timeout 30m . | \
+	go test -run xxx -bench 'BenchmarkFig|BenchmarkSec5_1|BenchmarkServe|BenchmarkCommit|BenchmarkIngest|BenchmarkWAL|BenchmarkRecover' -benchmem -benchtime 1x -timeout 30m . | \
 		go run ./cmd/benchguard -out BENCH_$$(date +%F).json -baseline bench/baseline.json

@@ -24,6 +24,7 @@ import (
 	"icebergcube/internal/online"
 	"icebergcube/internal/relation"
 	"icebergcube/internal/seq"
+	"icebergcube/internal/wal"
 )
 
 const benchTuples = 8000
@@ -534,5 +535,94 @@ func BenchmarkFacadeCompute(b *testing.B) {
 		if res.NumCells() == 0 {
 			b.Fatal("empty cube")
 		}
+	}
+}
+
+// BenchmarkWALAppend measures the durable write path's logging tax: one
+// 64-row batch record framed (length + CRC32C), encoded and appended to
+// an in-memory segment — no fsync, which Commit pays once per barrier.
+// The record encode/append path is benchguard-gated: it sits inside
+// every durable Append/Delete, so alloc growth here is a write-path
+// regression.
+func BenchmarkWALAppend(b *testing.B) {
+	const width, rows = 9, 64
+	rng := rand.New(rand.NewSource(11))
+	keys := make([]uint32, width*rows)
+	meas := make([]float64, rows)
+	for i := range keys {
+		keys[i] = uint32(rng.Intn(1000))
+	}
+	for i := range meas {
+		meas[i] = float64(rng.Intn(100))
+	}
+	rec := &wal.Record{Type: wal.TypeAppend, Width: width, Keys: keys, Meas: meas}
+	fresh := func() *wal.Log {
+		lg, err := wal.Create(wal.NewMemFS(), "w", wal.Options{SegmentBytes: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return lg
+	}
+	lg := fresh()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Bound the in-memory segment: swap in a fresh log periodically.
+		if i > 0 && i%8192 == 0 {
+			b.StopTimer()
+			lg.Close()
+			lg = fresh()
+			b.StartTimer()
+		}
+		if err := lg.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	lg.Close()
+}
+
+// BenchmarkRecover measures crash-recovery latency end to end at the
+// weather scale: replay the log (base + committed churn), rebuild the
+// leaf and every committed version through the commit path, and rewarm
+// the serving cache.
+func BenchmarkRecover(b *testing.B) {
+	mem := wal.NewMemFS()
+	ds := SyntheticWeather(benchTuples, 2001)
+	dims := ds.PickDimsByCardinalityProduct(9, 13)
+	mat, err := materializeDurable(ds, dims, 8, mem, "wal", wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mat.Answer(dims[:2], 2); err != nil {
+		b.Fatal(err)
+	}
+	rows, meas := benchMutationBatch(b, ds, dims, 64, 7)
+	for i := 0; i < 4; i++ {
+		if err := mat.Append(rows, meas); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mat.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		if err := mat.Delete(rows, meas); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mat.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := mat.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rm, err := recoverMaterialized(ds, dims, mem, "wal", wal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rm.Version() != 9 {
+			b.Fatalf("recovered v%d, want v9", rm.Version())
+		}
+		rm.Close()
 	}
 }

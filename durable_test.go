@@ -1,0 +1,212 @@
+package icebergcube
+
+// The durable serving path end to end: a materialized cube writes its
+// history to the WAL, a recovered cube must answer every committed
+// version identically — dictionary extensions for appended values
+// included — and then keep extending the same log.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"icebergcube/internal/wal"
+)
+
+func durableOpts() wal.Options { return wal.Options{Backoff: time.Nanosecond} }
+
+// durableDataset builds the script base relation twice-over: the
+// original and the "restarted process" copy recovery runs against.
+func durableDataset(t *testing.T) *Dataset {
+	t.Helper()
+	vals, meas := baseScriptRows()
+	ds, err := FromRows(scriptDims, vals, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDurableMaterializedRoundTrip(t *testing.T) {
+	mem := wal.NewMemFS()
+	m, err := materializeDurable(durableDataset(t), nil, 2, mem, "wal", durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the cache so the commit markers carry a resident set.
+	if _, err := m.Answer([]string{"A"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Answer([]string{"B", "C"}, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// v2 appends rows with values the base dictionary has never seen —
+	// each extension must ride the log as an aux record.
+	if err := m.Append([][]string{
+		{"a5", "b0", "c3"},
+		{"a4", "b4", "c0"},
+		{"a5", "b0", "c3"},
+	}, []float64{3, 7, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// v3 deletes one extended-value row and appends another.
+	if err := m.Delete([][]string{{"a5", "b0", "c3"}}, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append([][]string{{"a0", "b4", "c4"}}, []float64{11}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Record the ground truth: every version × every group-by.
+	want := make(map[uint64]map[string]string)
+	for v := uint64(1); v <= 3; v++ {
+		want[v] = make(map[string]string)
+		for _, gb := range scriptGroupBys() {
+			cells, err := m.AnswerAt(v, gb, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[v][canonGroupBy(gb)] = canonCells(cells)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh process loads the same data set and recovers.
+	rm, err := recoverMaterialized(durableDataset(t), nil, mem, "wal", durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Version() != 3 {
+		t.Fatalf("recovered head v%d, want v3", rm.Version())
+	}
+	for v := uint64(1); v <= 3; v++ {
+		for _, gb := range scriptGroupBys() {
+			cells, err := rm.AnswerAt(v, gb, 1)
+			if err != nil {
+				t.Fatalf("v%d %v: %v", v, gb, err)
+			}
+			if got := canonCells(cells); got != want[v][canonGroupBy(gb)] {
+				t.Fatalf("v%d group-by %v answers differently after recovery:\n got: %s\nwant: %s",
+					v, gb, got, want[v][canonGroupBy(gb)])
+			}
+		}
+	}
+
+	// The recovered dictionary keeps extending consistently: an already-
+	// extended value reuses its code, a fresh one gets the next, and both
+	// survive yet another restart.
+	if err := rm.Append([][]string{
+		{"a5", "b4", "c4"},
+		{"a3", "b3", "c2"},
+	}, []float64{1, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rm.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	headCells, err := rm.Answer([]string{"A"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headWant := canonCells(headCells)
+	if err := rm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rm2, err := recoverMaterialized(durableDataset(t), nil, mem, "wal", durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rm2.Close()
+	if rm2.Version() != 4 {
+		t.Fatalf("second recovery head v%d, want v4", rm2.Version())
+	}
+	cells, err := rm2.Answer([]string{"A"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := canonCells(cells); got != headWant {
+		t.Fatalf("head answer changed across second recovery:\n got: %s\nwant: %s", got, headWant)
+	}
+}
+
+func canonGroupBy(gb []string) string {
+	s := ""
+	for _, a := range gb {
+		s += a + ","
+	}
+	return s
+}
+
+// TestDurableCreateRefusesExistingLog: materializing into a directory
+// that already holds a log must fail (recovery is the only way in), and
+// the typed degraded error is reachable from the root package.
+func TestDurableCreateRefusesExistingLog(t *testing.T) {
+	mem := wal.NewMemFS()
+	m, err := materializeDurable(durableDataset(t), nil, 2, mem, "wal", durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if _, err := materializeDurable(durableDataset(t), nil, 2, mem, "wal", durableOpts()); !errors.Is(err, wal.ErrExists) {
+		t.Fatalf("second materialize into the same log dir: %v, want ErrExists", err)
+	}
+	if m.Degraded() != nil {
+		t.Fatalf("healthy cube reports degraded: %v", m.Degraded())
+	}
+}
+
+// TestOpenDurableOnDisk drives the public os-backed entry points through
+// a real temp directory: create, restart, recover.
+func TestOpenDurableOnDisk(t *testing.T) {
+	dir := t.TempDir() + "/wal"
+	ds := durableDataset(t)
+	m, recovered, err := OpenDurable(ds, nil, 2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered {
+		t.Fatal("fresh dir reported as recovered")
+	}
+	if err := m.Append([][]string{{"a5", "b0", "c0"}}, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := m.Answer([]string{"A"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := canonCells(cells)
+	m.Close()
+
+	m2, recovered, err := OpenDurable(durableDataset(t), nil, 2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !recovered {
+		t.Fatal("existing log not recovered")
+	}
+	if m2.Version() != 2 {
+		t.Fatalf("recovered v%d, want v2", m2.Version())
+	}
+	got, err := m2.Answer([]string{"A"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonCells(got) != wantCells {
+		t.Fatalf("on-disk recovery answers differently:\n got: %s\nwant: %s", canonCells(got), wantCells)
+	}
+}

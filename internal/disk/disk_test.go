@@ -80,3 +80,73 @@ func TestForwarding(t *testing.T) {
 type sinkFunc func(lattice.Mask, []uint32, agg.State)
 
 func (f sinkFunc) WriteCell(m lattice.Mask, key []uint32, st agg.State) { f(m, key, st) }
+
+// TestReturnToCuboidPaysSeekAgain: the simulated disk has no per-cuboid
+// open stream — leaving a cuboid and coming back is another switch. The
+// A A B B A pattern is exactly what makes depth-first writers pay.
+func TestReturnToCuboidPaysSeekAgain(t *testing.T) {
+	st := agg.NewState()
+	st.Add(1)
+	var ctr cost.Counters
+	w := NewWriter(&ctr, nil)
+	a, b := lattice.MaskOf(0), lattice.MaskOf(1)
+	for _, m := range []lattice.Mask{a, a, b, b, a} {
+		w.WriteCell(m, []uint32{0}, st)
+	}
+	if ctr.Seeks != 3 {
+		t.Fatalf("A A B B A: %d seeks, want 3 (enter A, switch to B, return to A)", ctr.Seeks)
+	}
+}
+
+// TestFirstWriteChargesSeek: the very first write pays its stream-open
+// seek even when the target is the zero mask (the apex cuboid), which a
+// naive last-mask comparison against the zero value would miss.
+func TestFirstWriteChargesSeek(t *testing.T) {
+	st := agg.NewState()
+	var ctr cost.Counters
+	w := NewWriter(&ctr, nil)
+	w.WriteCell(0, nil, st)
+	w.WriteCell(0, nil, st)
+	if ctr.Seeks != 1 {
+		t.Fatalf("two apex writes: %d seeks, want 1 (first opens the stream, second stays)", ctr.Seeks)
+	}
+}
+
+// TestCellBytesModel pins the record-size model the Fig 3.6 byte counts
+// are built on: 4 bytes per key element over a fixed header.
+func TestCellBytesModel(t *testing.T) {
+	for keyLen := 0; keyLen <= 8; keyLen++ {
+		want := int64(4*keyLen) + cellHeaderBytes
+		if got := CellBytes(keyLen); got != want {
+			t.Fatalf("CellBytes(%d) = %d, want %d", keyLen, got, want)
+		}
+	}
+}
+
+// TestForwardingPreservesPayload: the writer is an accounting tap, not a
+// transformer — key contents and aggregate state reach the sink as sent.
+func TestForwardingPreservesPayload(t *testing.T) {
+	st := agg.NewState()
+	st.Add(3)
+	st.Add(-2)
+	var gotKey []uint32
+	var gotState agg.State
+	sink := sinkFunc(func(m lattice.Mask, key []uint32, s agg.State) {
+		gotKey = append([]uint32(nil), key...)
+		gotState = s
+	})
+	var ctr cost.Counters
+	w := NewWriter(&ctr, sink)
+	w.WriteCell(lattice.MaskOf(0, 2), []uint32{7, 9}, st)
+	if len(gotKey) != 2 || gotKey[0] != 7 || gotKey[1] != 9 {
+		t.Fatalf("forwarded key %v, want [7 9]", gotKey)
+	}
+	if gotState.Count != st.Count || gotState.Sum != st.Sum || gotState.Min != st.Min || gotState.Max != st.Max {
+		t.Fatalf("forwarded state %+v, want %+v", gotState, st)
+	}
+	// Accounting and forwarding are independent: the tap charged exactly
+	// this write.
+	if ctr.CellsWritten != 1 || ctr.BytesWritten != CellBytes(2) {
+		t.Fatalf("counters %+v after one forwarded cell", ctr)
+	}
+}

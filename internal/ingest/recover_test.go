@@ -1,0 +1,578 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/wal"
+)
+
+const walDir = "wal"
+
+// fastWALOpts keeps retry backoff out of test wall-clock.
+func fastWALOpts() wal.Options { return wal.Options{Backoff: time.Nanosecond} }
+
+// rowModel is the oracle's shadow state: the plain row multiset the cube
+// is supposed to hold.
+type rowModel struct {
+	width int
+	keys  []uint32
+	meas  []float64
+}
+
+func (m *rowModel) append(keys []uint32, meas []float64) {
+	m.keys = append(m.keys, keys...)
+	m.meas = append(m.meas, meas...)
+}
+
+func (m *rowModel) delete(keys []uint32, meas []float64) {
+	for i := range meas {
+		key := keys[i*m.width : (i+1)*m.width]
+	scan:
+		for r := 0; r < len(m.meas); r++ {
+			if m.meas[r] != meas[i] {
+				continue
+			}
+			row := m.keys[r*m.width : (r+1)*m.width]
+			for d := range key {
+				if row[d] != key[d] {
+					continue scan
+				}
+			}
+			m.keys = append(m.keys[:r*m.width], m.keys[(r+1)*m.width:]...)
+			m.meas = append(m.meas[:r], m.meas[r+1:]...)
+			break
+		}
+	}
+}
+
+func (m *rowModel) copyState() ([]uint32, []float64) {
+	return append([]uint32(nil), m.keys...), append([]float64(nil), m.meas...)
+}
+
+// commitState is the shadow state one commit attempt would publish.
+type commitState struct {
+	keys []uint32
+	meas []float64
+}
+
+var (
+	wlBaseKeys = []uint32{0, 0, 0, 1, 1, 0, 1, 1}
+	wlBaseMeas = []float64{2, 4, 6, 8}
+	wlCards    = []int{4, 4}
+)
+
+// runDurableWorkload drives a fixed mutation script against a durable
+// cube rooted at fsys — appends, deletes, an aux record, four commits
+// with warming queries between them, and a trailing uncommitted batch.
+// It records the shadow state of every commit it attempts, stops at the
+// first error (the injected crash), and reports how far it got:
+// baseAcked (the base record reached stable storage), acked committed
+// versions, and every attempted commit's shadow state.
+func runDurableWorkload(fsys wal.FS, opts wal.Options) (baseAcked bool, acked int, attempts []commitState, failed error) {
+	lg, err := wal.Create(fsys, walDir, opts)
+	if err != nil {
+		return false, 0, nil, err
+	}
+	c := buildCube(2, wlBaseKeys, wlBaseMeas, wlCards, 0)
+	if err := c.AttachWAL(lg); err != nil {
+		lg.Close()
+		return false, 0, nil, err
+	}
+	model := &rowModel{width: 2}
+	model.append(wlBaseKeys, wlBaseMeas)
+
+	commit := func() error {
+		k, m := model.copyState()
+		attempts = append(attempts, commitState{keys: k, meas: m})
+		if _, err := c.Commit(); err != nil {
+			return err
+		}
+		acked++
+		return nil
+	}
+	appendRows := func(keys []uint32, meas []float64) error {
+		if err := c.Append(keys, meas); err != nil {
+			return err
+		}
+		model.append(keys, meas)
+		return nil
+	}
+	deleteRows := func(keys []uint32, meas []float64) error {
+		if err := c.Delete(keys, meas); err != nil {
+			return err
+		}
+		model.delete(keys, meas)
+		return nil
+	}
+
+	steps := []func() error{
+		func() error { return appendRows([]uint32{2, 2, 0, 0}, []float64{10, 5}) },
+		func() error { _, _, err := c.Current().Srv.Query(lattice.Mask(1)); return err },
+		commit, // v2
+		func() error { return c.LogAux([]byte("dict:x")) },
+		func() error { return appendRows([]uint32{1, 2}, []float64{7}) },
+		func() error { return deleteRows([]uint32{0, 1}, []float64{4}) },
+		commit, // v3
+		func() error { _, _, err := c.Current().Srv.Query(lattice.Mask(2)); return err },
+		func() error { return appendRows([]uint32{3, 3, 3, 0}, []float64{1, 2}) },
+		commit, // v4
+		func() error { return deleteRows([]uint32{3, 3}, []float64{1}) },
+		commit, // v5
+		func() error { return appendRows([]uint32{2, 0}, []float64{9}) }, // trailing pending
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return true, acked, attempts, err
+		}
+	}
+	// Close syncs the trailing batch; its failure is a real op outcome
+	// the crash sweep must see.
+	if err := c.Close(); err != nil {
+		return true, acked, attempts, err
+	}
+	return true, acked, attempts, nil
+}
+
+// verifyRecovered is the oracle's judgment: the recovered cube must hold
+// some committed prefix — every acked version present and cell-for-cell
+// equal to its shadow state, at most the one in-flight commit beyond it,
+// and never a version that matches no attempted commit. The recovered
+// cube must also accept new writes.
+func verifyRecovered(t *testing.T, tag string, mem *wal.MemFS, baseAcked bool, acked int, attempts []commitState) {
+	t.Helper()
+	rc, err := Recover(mem, walDir, 0, fastWALOpts(), nil)
+	if err != nil {
+		if baseAcked {
+			t.Fatalf("%s: recovery failed though the base record was acked durable: %v", tag, err)
+		}
+		return
+	}
+	defer rc.Close()
+	top := rc.Current().Version
+	min := uint64(1 + acked)
+	if top < min {
+		t.Fatalf("%s: recovered to v%d but v%d was acked durable — committed data lost", tag, top, min)
+	}
+	if top > min+1 || top > uint64(1+len(attempts)) {
+		t.Fatalf("%s: recovered to v%d with only %d commits acked (%d attempted) — phantom commit", tag, top, acked, len(attempts))
+	}
+	v1, ok := rc.At(1)
+	if !ok {
+		t.Fatalf("%s: base version missing after recovery", tag)
+	}
+	checkLeaf(t, v1, 2, wlBaseKeys, wlBaseMeas)
+	for v := uint64(2); v <= top; v++ {
+		view, ok := rc.At(v)
+		if !ok {
+			t.Fatalf("%s: recovered to v%d but v%d is missing — history has a hole", tag, top, v)
+		}
+		st := attempts[v-2]
+		checkLeaf(t, view, 2, st.keys, st.meas)
+	}
+	// The recovered cube is a live writer: it must extend the history.
+	if err := rc.Append([]uint32{0, 0}, []float64{1}); err != nil {
+		t.Fatalf("%s: append after recovery: %v", tag, err)
+	}
+	snap, err := rc.Commit()
+	if err != nil {
+		t.Fatalf("%s: commit after recovery: %v", tag, err)
+	}
+	if snap.Version != top+1 {
+		t.Fatalf("%s: post-recovery commit published v%d, want v%d", tag, snap.Version, top+1)
+	}
+}
+
+// TestCrashRecoveryOracle is the tentpole's proof: a fault-free probe run
+// counts the workload's mutating filesystem operations, then the sweep
+// crashes the filesystem at every single one of them — with and without a
+// bit flip in the torn tail — and recovery must land on a committed
+// prefix every time: acked versions all present and exact, at most the
+// in-flight commit beyond, never partial state.
+func TestCrashRecoveryOracle(t *testing.T) {
+	probe := wal.NewFaultFS(wal.NewMemFS(), wal.Plan{Seed: 1})
+	baseAcked, acked, attempts, err := runDurableWorkload(probe, fastWALOpts())
+	if err != nil {
+		t.Fatalf("fault-free probe failed: %v", err)
+	}
+	if !baseAcked || acked != 4 || len(attempts) != 4 {
+		t.Fatalf("probe: baseAcked=%v acked=%d attempts=%d, want true/4/4", baseAcked, acked, len(attempts))
+	}
+	total := probe.OpCount()
+	if total < 15 {
+		t.Fatalf("probe issued only %d mutating ops — workload too small for a meaningful sweep", total)
+	}
+	verifyRecovered(t, "fault-free", probe.Mem(), baseAcked, acked, attempts)
+
+	for _, flip := range []bool{false, true} {
+		for k := 1; k <= total; k++ {
+			plan := wal.Plan{Seed: int64(100 + k), CrashAtOp: k, FlipBits: flip}
+			fsys := wal.NewFaultFS(wal.NewMemFS(), plan)
+			baseAcked, acked, attempts, err := runDurableWorkload(fsys, fastWALOpts())
+			if err == nil {
+				t.Fatalf("crash at op %d/%d did not surface an error", k, total)
+			}
+			if !fsys.Crashed() {
+				t.Fatalf("crash at op %d never fired (workload stopped early: %v)", k, err)
+			}
+			tag := "crash@" + itoa(k)
+			if flip {
+				tag += "+flip"
+			}
+			verifyRecovered(t, tag, fsys.Mem(), baseAcked, acked, attempts)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestTransientFaultsRetried proves the retry path end to end: under a
+// heavy transient-failure rate with torn partial writes, the workload
+// must complete with every write acked, and the log must recover to the
+// full history.
+func TestTransientFaultsRetried(t *testing.T) {
+	opts := fastWALOpts()
+	// At 20% per-op failure the default 4 retries leave a ~1.6e-3
+	// all-attempts-fail chance per op; across the sweep that fires often
+	// enough to flake, so give the writer more headroom.
+	opts.Retries = 12
+	for seed := int64(0); seed < 10; seed++ {
+		fsys := wal.NewFaultFS(wal.NewMemFS(), wal.Plan{Seed: seed, TransientProb: 0.2, TornWrites: true})
+		baseAcked, acked, attempts, err := runDurableWorkload(fsys, opts)
+		if err != nil {
+			t.Fatalf("seed %d: workload failed under transient faults: %v", seed, err)
+		}
+		if acked != len(attempts) {
+			t.Fatalf("seed %d: %d of %d commits acked", seed, acked, len(attempts))
+		}
+		verifyRecovered(t, "transient", fsys.Mem(), baseAcked, acked, attempts)
+	}
+}
+
+// TestDurableRoundTrip is the plain restart story: run the workload on a
+// healthy filesystem, recover, and check the full version history —
+// including time travel to every version, aux-record replay, and the
+// trailing uncommitted batch landing back in the pending buffer.
+func TestDurableRoundTrip(t *testing.T) {
+	mem := wal.NewMemFS()
+	baseAcked, acked, attempts, err := runDurableWorkload(mem, fastWALOpts())
+	if err != nil || !baseAcked || acked != 4 {
+		t.Fatalf("workload: baseAcked=%v acked=%d err=%v", baseAcked, acked, err)
+	}
+	var aux [][]byte
+	rc, err := Recover(mem, walDir, 0, fastWALOpts(), func(p []byte) error {
+		aux = append(aux, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aux) != 1 || !bytes.Equal(aux[0], []byte("dict:x")) {
+		t.Fatalf("aux records replayed wrong: %q", aux)
+	}
+	if got := len(rc.Snapshots()); got != 5 {
+		t.Fatalf("recovered %d versions, want 5", got)
+	}
+	if rc.Pending() != 1 {
+		t.Fatalf("trailing batch lost: %d pending ops, want 1", rc.Pending())
+	}
+	for v := uint64(2); v <= 5; v++ {
+		view, ok := rc.At(v)
+		if !ok {
+			t.Fatalf("version %d missing", v)
+		}
+		checkLeaf(t, view, 2, attempts[v-2].keys, attempts[v-2].meas)
+	}
+	// Committing folds the recovered pending batch into v6.
+	snap, err := rc.Commit()
+	if err != nil || snap.Version != 6 {
+		t.Fatalf("commit after recovery: v%d err=%v", snap.Version, err)
+	}
+	model := &rowModel{width: 2, keys: attempts[3].keys, meas: attempts[3].meas}
+	model.append([]uint32{2, 0}, []float64{9})
+	checkLeaf(t, rc.Current(), 2, model.keys, model.meas)
+	rc.Close()
+
+	// A second restart replays the extended history.
+	rc2, err := Recover(mem, walDir, 0, fastWALOpts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc2.Close()
+	if rc2.Current().Version != 6 || rc2.Pending() != 0 {
+		t.Fatalf("second recovery: v%d pending=%d, want v6/0", rc2.Current().Version, rc2.Pending())
+	}
+	checkLeaf(t, rc2.Current(), 2, model.keys, model.meas)
+}
+
+// TestRecoverRebuildsWarmSet checks the serving cache comes back warm:
+// the cuboids resident when the last commit was logged are resident
+// again after recovery.
+func TestRecoverRebuildsWarmSet(t *testing.T) {
+	mem := wal.NewMemFS()
+	lg, err := wal.Create(mem, walDir, fastWALOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildCube(2, wlBaseKeys, wlBaseMeas, wlCards, 0)
+	if err := c.AttachWAL(lg); err != nil {
+		t.Fatal(err)
+	}
+	warm := []lattice.Mask{1, 2}
+	for _, q := range warm {
+		if _, _, err := c.Current().Srv.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Append([]uint32{2, 2}, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	rc, err := Recover(mem, walDir, 0, fastWALOpts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	resident := make(map[lattice.Mask]bool)
+	for _, cub := range rc.Current().Srv.Resident() {
+		resident[cub.Mask] = true
+	}
+	for _, q := range warm {
+		if !resident[q] {
+			t.Fatalf("mask %b not resident after recovery (resident: %v)", q, resident)
+		}
+	}
+}
+
+// breakFS wraps a MemFS; once armed, every mutating file operation fails
+// permanently — the "log directory became unwritable" scenario.
+type breakFS struct {
+	*wal.MemFS
+	armed atomic.Bool
+}
+
+var errDiskGone = errors.New("breakfs: disk gone")
+
+func (b *breakFS) OpenFile(name string, flag int, perm fs.FileMode) (wal.File, error) {
+	if b.armed.Load() && flag&(wal.FlagWrite|wal.FlagCreate) != 0 {
+		return nil, errDiskGone
+	}
+	f, err := b.MemFS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &breakFile{b: b, f: f}, nil
+}
+
+func (b *breakFS) SyncDir(dir string) error {
+	if b.armed.Load() {
+		return errDiskGone
+	}
+	return b.MemFS.SyncDir(dir)
+}
+
+type breakFile struct {
+	b *breakFS
+	f wal.File
+}
+
+func (h *breakFile) Write(p []byte) (int, error) {
+	if h.b.armed.Load() {
+		return 0, errDiskGone
+	}
+	return h.f.Write(p)
+}
+
+func (h *breakFile) Read(p []byte) (int, error) { return h.f.Read(p) }
+
+func (h *breakFile) Sync() error {
+	if h.b.armed.Load() {
+		return errDiskGone
+	}
+	return h.f.Sync()
+}
+
+func (h *breakFile) Truncate(size int64) error {
+	if h.b.armed.Load() {
+		return errDiskGone
+	}
+	return h.f.Truncate(size)
+}
+
+func (h *breakFile) Close() error { return h.f.Close() }
+
+// TestDegradedReadOnlyMode: when the log becomes permanently unwritable,
+// writes fail fast with ErrDegraded, every published version keeps
+// serving queries, and a later recovery still holds everything that was
+// acked before the failure.
+func TestDegradedReadOnlyMode(t *testing.T) {
+	bfs := &breakFS{MemFS: wal.NewMemFS()}
+	lg, err := wal.Create(bfs, walDir, fastWALOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildCube(2, wlBaseKeys, wlBaseMeas, wlCards, 0)
+	if err := c.AttachWAL(lg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append([]uint32{2, 2}, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	bfs.armed.Store(true)
+	if err := c.Append([]uint32{3, 3}, []float64{1}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("append on broken log: %v, want ErrDegraded", err)
+	}
+	if c.Degraded() == nil {
+		t.Fatal("Degraded() nil after write failure")
+	}
+	// Every write path refuses; none mutates state.
+	if err := c.Delete([]uint32{0, 0}, []float64{2}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := c.Commit(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("commit: %v", err)
+	}
+	if err := c.LogAux([]byte("x")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("logaux: %v", err)
+	}
+	// Serving survives: current and historical versions answer.
+	if c.Current().Version != 2 {
+		t.Fatalf("head version %d, want 2", c.Current().Version)
+	}
+	if _, _, err := c.Current().Srv.Query(lattice.Mask(1)); err != nil {
+		t.Fatalf("query on degraded cube: %v", err)
+	}
+	if _, ok := c.At(1); !ok {
+		t.Fatal("time travel lost on degraded cube")
+	}
+
+	// What was acked durable is still recoverable.
+	model := &rowModel{width: 2}
+	model.append(wlBaseKeys, wlBaseMeas)
+	model.append([]uint32{2, 2}, []float64{3})
+	rc, err := Recover(bfs.MemFS, walDir, 0, fastWALOpts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if rc.Current().Version != 2 {
+		t.Fatalf("recovered v%d, want v2", rc.Current().Version)
+	}
+	checkLeaf(t, rc.Current(), 2, model.keys, model.meas)
+}
+
+// TestMidCommitCrashStages proves WAL-before-apply at every stage of the
+// commit pipeline: the kill hook aborts the commit after the durability
+// barrier but before/inside/after the folds, and recovery must still
+// produce the complete committed version — the in-memory wreckage is
+// irrelevant, the log is the truth.
+func TestMidCommitCrashStages(t *testing.T) {
+	for _, stage := range []string{"logged", "leaf-folded", "cuboid-fold", "pre-publish"} {
+		mem := wal.NewMemFS()
+		lg, err := wal.Create(mem, walDir, fastWALOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := buildCube(2, wlBaseKeys, wlBaseMeas, wlCards, 0)
+		if err := c.AttachWAL(lg); err != nil {
+			t.Fatal(err)
+		}
+		model := &rowModel{width: 2}
+		model.append(wlBaseKeys, wlBaseMeas)
+
+		// v2, with a resident cuboid so the cuboid-fold stage is live.
+		if _, _, err := c.Current().Srv.Query(lattice.Mask(1)); err != nil {
+			t.Fatal(err)
+		}
+		batchA := []uint32{2, 2, 0, 0}
+		measA := []float64{10, 5}
+		if err := c.Append(batchA, measA); err != nil {
+			t.Fatal(err)
+		}
+		model.append(batchA, measA)
+		if _, err := c.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Current().Srv.Query(lattice.Mask(1)); err != nil {
+			t.Fatal(err)
+		}
+
+		batchB := []uint32{1, 2, 3, 3}
+		measB := []float64{7, 1}
+		if err := c.Append(batchB, measB); err != nil {
+			t.Fatal(err)
+		}
+		afterA := &rowModel{width: 2}
+		afterA.append(model.keys, model.meas)
+		model.append(batchB, measB)
+
+		c.testCommitKill = func(s string) bool { return s == stage }
+		if _, err := c.Commit(); !errors.Is(err, errKilled) {
+			t.Fatalf("stage %s: commit returned %v, want kill", stage, err)
+		}
+
+		rc, err := Recover(mem, walDir, 0, fastWALOpts(), nil)
+		if err != nil {
+			t.Fatalf("stage %s: %v", stage, err)
+		}
+		if rc.Current().Version != 3 {
+			t.Fatalf("stage %s: recovered v%d, want v3 (marker was durable before the kill)", stage, rc.Current().Version)
+		}
+		checkLeaf(t, rc.Current(), 2, model.keys, model.meas)
+		v2, ok := rc.At(2)
+		if !ok {
+			t.Fatalf("stage %s: v2 missing", stage)
+		}
+		checkLeaf(t, v2, 2, afterA.keys, afterA.meas)
+		rc.Close()
+	}
+}
+
+// TestAttachWALRequiresFreshCube: attaching to a cube with history or
+// pending writes would log an incomplete base; both are refused.
+func TestAttachWALRequiresFreshCube(t *testing.T) {
+	mem := wal.NewMemFS()
+	c := buildCube(2, wlBaseKeys, wlBaseMeas, wlCards, 0)
+	if err := c.Append([]uint32{2, 2}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := wal.Create(mem, walDir, fastWALOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachWAL(lg); err == nil {
+		t.Fatal("attach with pending batch must fail")
+	}
+	if _, err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachWAL(lg); err == nil {
+		t.Fatal("attach at version 2 must fail")
+	}
+	lg.Close()
+}

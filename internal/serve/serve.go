@@ -289,6 +289,28 @@ func (s *Server) Warm(cubs []*Cuboid) {
 	}
 }
 
+// Precompute computes and admits the cuboids of the given masks (least
+// important last, like Warm's input order) by running them through the
+// ordinary query path, and returns how many ended up resident. Crash
+// recovery uses it to rebuild the warm set recorded in the last commit
+// marker: unlike Warm it derives each cuboid from the current leaf, so
+// it needs only the masks. Queries issued here count toward Stats like
+// any client query; admission respects the byte budget, so a mask whose
+// cuboid no longer fits is simply skipped.
+func (s *Server) Precompute(masks []lattice.Mask) int {
+	n := 0
+	for i := len(masks) - 1; i >= 0; i-- {
+		q := masks[i]
+		if q == s.leaf.Mask {
+			continue
+		}
+		if _, st, err := s.Query(q); err == nil && (st.Admitted || st.CacheHit) {
+			n++
+		}
+	}
+	return n
+}
+
 // Budget returns the configured cache byte budget.
 func (s *Server) Budget() int64 {
 	s.cache.mu.Lock()

@@ -1,0 +1,54 @@
+package wal
+
+import (
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// DirFS is the operating-system FS: paths are passed straight to the os
+// package. This is what production callers (and cmd/icecube's -waldir)
+// use; tests and the crash oracle use MemFS/FaultFS instead.
+type DirFS struct{}
+
+// OpenFile implements FS.
+func (DirFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadDir implements FS.
+func (DirFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (DirFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// Remove implements FS.
+func (DirFS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS: fsync the directory so segment creations and
+// removals are themselves durable.
+func (DirFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

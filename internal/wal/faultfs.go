@@ -1,0 +1,196 @@
+package wal
+
+import (
+	"errors"
+	"io/fs"
+	"math/rand"
+	"sync"
+)
+
+// Plan is a seeded fault schedule for FaultFS. Every schedule is
+// deterministic: the same plan over the same operation sequence injects
+// the same faults (the PR-2 chaos philosophy — failures reproduce).
+type Plan struct {
+	// Seed drives every random choice: torn-write lengths, transient
+	// failures, crash truncation and bit flips.
+	Seed int64
+	// CrashAtOp, when > 0, crashes the filesystem at the CrashAtOp-th
+	// mutating operation (1-based): the op fails with ErrCrashed, the
+	// underlying MemFS rolls every file back to its durable watermark
+	// plus a seeded torn prefix, and every later operation fails with
+	// ErrCrashed too. The crash-recovery oracle sweeps this over every
+	// operation index.
+	CrashAtOp int
+	// FlipBits adds a seeded single-bit flip inside the torn (unsynced
+	// but surviving) region of crashed files — corruption that only the
+	// record CRC can catch.
+	FlipBits bool
+	// TransientProb is the per-operation probability of a retryable
+	// failure (wrapped in TransientError) on writes and syncs.
+	TransientProb float64
+	// TornWrites makes transiently failing writes land a seeded prefix
+	// of the buffer before reporting the error, so the retry path must
+	// repair a torn record rather than just re-issue the write.
+	TornWrites bool
+}
+
+// FaultFS wraps a MemFS with the Plan's seeded fault injection. Mutating
+// operations (creates, writes, syncs, truncates, directory syncs) are
+// counted; OpCount after a fault-free run gives the crash-point space to
+// sweep.
+type FaultFS struct {
+	mem  *MemFS
+	plan Plan
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	ops     int
+	crashed bool
+}
+
+// NewFaultFS wraps mem with plan's fault schedule.
+func NewFaultFS(mem *MemFS, plan Plan) *FaultFS {
+	return &FaultFS{mem: mem, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Mem returns the wrapped MemFS — after a crash, its contents are the
+// post-crash disk the oracle recovers from.
+func (f *FaultFS) Mem() *MemFS { return f.mem }
+
+// OpCount returns how many mutating operations have been issued.
+func (f *FaultFS) OpCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// op accounts one mutating operation and decides its fate: nil (proceed),
+// ErrCrashed (crash point reached or already crashed), or a transient
+// error. It must be called with f.mu held.
+func (f *FaultFS) op() error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.ops++
+	if f.plan.CrashAtOp > 0 && f.ops >= f.plan.CrashAtOp {
+		f.crashed = true
+		f.mem.Crash(f.rng, f.plan.FlipBits)
+		return ErrCrashed
+	}
+	if f.plan.TransientProb > 0 && f.rng.Float64() < f.plan.TransientProb {
+		return &TransientError{Err: errors.New("injected fault")}
+	}
+	return nil
+}
+
+// OpenFile implements FS. Creations count as mutating operations.
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if flag&FlagCreate != 0 {
+		f.mu.Lock()
+		err := f.op()
+		f.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	h, err := f.mem.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultHandle{fs: f, h: h}, nil
+}
+
+// ReadDir implements FS (reads are never failed — the oracle crashes
+// writers, not readers).
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.mem.ReadDir(dir) }
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string, perm fs.FileMode) error {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return f.mem.MkdirAll(dir, perm)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	err := f.op()
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.mem.Remove(name)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	err := f.op()
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.mem.SyncDir(dir)
+}
+
+// faultHandle interposes the plan on one open file.
+type faultHandle struct {
+	fs *FaultFS
+	h  File
+}
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	err := h.fs.op()
+	var torn int
+	if err != nil && IsTransient(err) && h.fs.plan.TornWrites && len(p) > 0 {
+		torn = h.fs.rng.Intn(len(p))
+	}
+	h.fs.mu.Unlock()
+	if err != nil {
+		if errors.Is(err, ErrCrashed) {
+			return 0, err
+		}
+		// Transient: land a torn prefix, then fail.
+		if torn > 0 {
+			h.h.Write(p[:torn])
+		}
+		return torn, err
+	}
+	return h.h.Write(p)
+}
+
+func (h *faultHandle) Read(p []byte) (int, error) { return h.h.Read(p) }
+
+func (h *faultHandle) Sync() error {
+	h.fs.mu.Lock()
+	err := h.fs.op()
+	h.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return h.h.Sync()
+}
+
+func (h *faultHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	err := h.fs.op()
+	h.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return h.h.Truncate(size)
+}
+
+func (h *faultHandle) Close() error { return h.h.Close() }

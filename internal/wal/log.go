@@ -1,0 +1,297 @@
+package wal
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options tune the log writer. The zero value selects the defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold: a new segment starts once
+	// the current one reaches this size. Default 4 MiB.
+	SegmentBytes int64
+	// Retries is how many times a transient write/sync failure is
+	// retried (after repairing any torn partial write) before the log
+	// breaks. Default 4.
+	Retries int
+	// Backoff is the initial retry delay, doubling per attempt. Default
+	// 500µs; tests set it to a nanosecond to keep fault sweeps fast.
+	Backoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.Retries <= 0 {
+		o.Retries = 4
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 500 * time.Microsecond
+	}
+	return o
+}
+
+// segName renders the index-th segment's file name.
+func segName(index int) string { return fmt.Sprintf("wal-%08d.seg", index) }
+
+// segIndex parses a segment file name, returning -1 for other files.
+func segIndex(name string) int {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return -1
+	}
+	var i int
+	if _, err := fmt.Sscanf(name, "wal-%08d.seg", &i); err != nil || segName(i) != name {
+		return -1
+	}
+	return i
+}
+
+// listSegments returns the directory's segment indices, ascending.
+func listSegments(fsys FS, dir string) ([]int, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idx []int
+	for _, n := range names {
+		if i := segIndex(n); i >= 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// Exists reports whether dir holds a log (at least one segment file).
+func Exists(fsys FS, dir string) bool {
+	idx, err := listSegments(fsys, dir)
+	return err == nil && len(idx) > 0
+}
+
+// Log is the append-only record writer. One writer at a time (the ingest
+// engine serializes Append/Delete/Commit); Log adds its own lock so
+// misuse fails safe rather than corrupting the file.
+type Log struct {
+	fsys FS
+	dir  string
+	opt  Options
+
+	mu        sync.Mutex
+	seg       File
+	segIdx    int
+	segSize   int64
+	buf       []byte
+	broken    error
+	closed    bool
+	appends   int64
+	syncs     int64
+	rotations int64
+}
+
+// Create initializes a fresh log in dir (created if missing). It fails
+// with ErrExists if dir already holds segments — recovery must go through
+// Recover so the existing records are replayed, never overwritten.
+func Create(fsys FS, dir string, opt Options) (*Log, error) {
+	opt = opt.withDefaults()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", dir, err)
+	}
+	if Exists(fsys, dir) {
+		return nil, fmt.Errorf("wal: create %s: %w", dir, ErrExists)
+	}
+	l := &Log{fsys: fsys, dir: dir, opt: opt, segIdx: 1}
+	if err := l.openSegment(l.segIdx, true); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// continueLog reopens the newest valid segment for appending — the
+// Recover path, after torn-tail truncation.
+func continueLog(fsys FS, dir string, opt Options, segIdx int, segSize int64) (*Log, error) {
+	opt = opt.withDefaults()
+	l := &Log{fsys: fsys, dir: dir, opt: opt, segIdx: segIdx, segSize: segSize}
+	f, err := fsys.OpenFile(path.Join(dir, segName(segIdx)), FlagWrite|FlagAppend, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: continue %s: %w", dir, err)
+	}
+	l.seg = f
+	return l, nil
+}
+
+// openSegment creates and syncs segment index (retrying transient
+// failures), closing any current one first. Called with l.mu held (or
+// before the log is shared).
+func (l *Log) openSegment(index int, syncDir bool) error {
+	if l.seg != nil {
+		// Seal the finished segment: sync it so the durable-prefix
+		// property holds across the segment boundary, then drop the
+		// handle.
+		if err := l.retry(func() error { return l.seg.Sync() }); err != nil {
+			return l.breakLog(fmt.Errorf("wal: sealing %s: %w", segName(l.segIdx), err))
+		}
+		l.seg.Close()
+		l.seg = nil
+	}
+	name := path.Join(l.dir, segName(index))
+	var f File
+	err := l.retry(func() error {
+		var err error
+		f, err = l.fsys.OpenFile(name, FlagCreate|FlagWrite|FlagAppend, 0o644)
+		return err
+	})
+	if err != nil {
+		return l.breakLog(fmt.Errorf("wal: creating %s: %w", name, err))
+	}
+	if syncDir {
+		if err := l.retry(func() error { return l.fsys.SyncDir(l.dir) }); err != nil {
+			f.Close()
+			return l.breakLog(fmt.Errorf("wal: syncing dir %s: %w", l.dir, err))
+		}
+	}
+	l.seg, l.segIdx, l.segSize = f, index, 0
+	l.rotations++
+	return nil
+}
+
+// retry runs op, backing off and retrying while it fails transiently.
+func (l *Log) retry(op func() error) error {
+	backoff := l.opt.Backoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || !IsTransient(err) || attempt >= l.opt.Retries {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// breakLog records a permanent failure; every later call fails with
+// ErrBroken so no write is acknowledged that might not be durable.
+func (l *Log) breakLog(err error) error {
+	if l.broken == nil {
+		l.broken = err
+	}
+	return err
+}
+
+// Err returns the permanent failure that broke the log, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
+}
+
+// Append encodes rec and appends it to the current segment, rotating
+// first if the segment is full. The record is buffered in the file (and
+// the OS page cache under DirFS) but not yet durable — call Sync (or use
+// AppendSync) for the durability barrier. Torn partial writes from
+// transient failures are repaired by truncating back to the record start
+// before retrying.
+func (l *Log) Append(rec *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.broken != nil {
+		return fmt.Errorf("%w: %w", ErrBroken, l.broken)
+	}
+	if l.segSize >= l.opt.SegmentBytes {
+		if err := l.openSegment(l.segIdx+1, true); err != nil {
+			return err
+		}
+	}
+	l.buf = appendFrame(l.buf[:0], rec)
+	frame := l.buf
+	err := l.retry(func() error {
+		n, werr := l.seg.Write(frame)
+		if werr == nil && n == len(frame) {
+			return nil
+		}
+		if werr == nil {
+			werr = fmt.Errorf("wal: short write (%d of %d bytes)", n, len(frame))
+		}
+		// Repair the torn tail so a retry starts from a clean record
+		// boundary (the truncate gets its own transient retries). If the
+		// repair fails for good, the failure is permanent — the error is
+		// deliberately not marked transient, whatever it wraps.
+		if terr := l.retry(func() error { return l.seg.Truncate(l.segSize) }); terr != nil {
+			return fmt.Errorf("wal: repairing torn write: %v (after %v)", terr, werr)
+		}
+		return werr
+	})
+	if err != nil {
+		return l.breakLog(fmt.Errorf("wal: append: %w", err))
+	}
+	l.segSize += int64(len(frame))
+	l.appends++
+	return nil
+}
+
+// Sync is the durability barrier: after it returns nil, every record
+// appended so far survives a crash.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.broken != nil {
+		return fmt.Errorf("%w: %w", ErrBroken, l.broken)
+	}
+	if err := l.retry(func() error { return l.seg.Sync() }); err != nil {
+		return l.breakLog(fmt.Errorf("wal: sync: %w", err))
+	}
+	l.syncs++
+	return nil
+}
+
+// AppendSync appends rec and immediately syncs — the commit-marker path.
+func (l *Log) AppendSync(rec *Record) error {
+	if err := l.Append(rec); err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+// Close syncs and releases the log. A broken log closes without syncing.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.seg == nil {
+		return nil
+	}
+	var err error
+	if l.broken == nil {
+		err = l.retry(func() error { return l.seg.Sync() })
+	}
+	l.seg.Close()
+	l.seg = nil
+	return err
+}
+
+// Stats reports writer-side counters (appends, syncs, segments started).
+func (l *Log) Stats() (appends, syncs, segments int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.syncs, l.rotations
+}
+
+// SegmentIndex returns the current segment's index (1-based).
+func (l *Log) SegmentIndex() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segIdx
+}

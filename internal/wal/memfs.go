@@ -1,0 +1,217 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models crash durability: every file
+// carries a watermark of how many bytes Sync has made durable, and Crash
+// rolls each file back to its watermark plus a seeded prefix of the
+// unsynced suffix — exactly the adversarial "some of what you wrote but
+// didn't fsync survived, some didn't, maybe torn mid-record" outcome a
+// real power loss produces. The crash-recovery oracle runs the whole
+// ingest engine on a MemFS (usually wrapped in a FaultFS) and recovers
+// from the post-crash state.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+type memFile struct {
+	fs      *MemFS
+	name    string
+	data    []byte
+	durable int // bytes guaranteed to survive Crash
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), dirs: map[string]bool{".": true}}
+}
+
+// memHandle is one open descriptor onto a memFile.
+type memHandle struct {
+	f      *memFile
+	pos    int
+	write  bool
+	closed bool
+}
+
+// OpenFile implements FS.
+func (m *MemFS) OpenFile(name string, flag int, _ fs.FileMode) (File, error) {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		if flag&FlagCreate == 0 {
+			return nil, fmt.Errorf("memfs: open %s: %w", name, fs.ErrNotExist)
+		}
+		if dir := path.Dir(name); !m.dirs[dir] {
+			return nil, fmt.Errorf("memfs: open %s: parent %s: %w", name, dir, fs.ErrNotExist)
+		}
+		f = &memFile{fs: m, name: name}
+		m.files[name] = f
+	}
+	return &memHandle{f: f, write: flag&(FlagWrite|FlagAppend|FlagCreate) != 0}, nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	dir = path.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[dir] {
+		return nil, fmt.Errorf("memfs: readdir %s: %w", dir, fs.ErrNotExist)
+	}
+	var names []string
+	for name := range m.files {
+		if path.Dir(name) == dir {
+			names = append(names, path.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(dir string, _ fs.FileMode) error {
+	dir = path.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for d := dir; ; d = path.Dir(d) {
+		m.dirs[d] = true
+		if d == "." || d == "/" || !strings.Contains(d, "/") {
+			break
+		}
+	}
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("memfs: remove %s: %w", name, fs.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// SyncDir implements FS. Directory entries in MemFS are durable as soon
+// as they exist (the crash model only rolls back file contents), so this
+// is a no-op.
+func (m *MemFS) SyncDir(string) error { return nil }
+
+// Crash simulates a power loss: every file's unsynced suffix survives
+// only as an rng-chosen prefix, and with flipBits each torn survivor gets
+// one seeded bit flip somewhere in its unsynced region — the corruption
+// CRC32C must catch. Open handles remain usable (the oracle discards the
+// crashed process's state anyway; recovery reopens everything).
+func (m *MemFS) Crash(rng *rand.Rand, flipBits bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic rng consumption order
+	for _, name := range names {
+		f := m.files[name]
+		unsynced := len(f.data) - f.durable
+		if unsynced <= 0 {
+			continue
+		}
+		keep := f.durable + rng.Intn(unsynced+1)
+		f.data = f.data[:keep]
+		if flipBits && keep > f.durable && rng.Intn(2) == 0 {
+			i := f.durable + rng.Intn(keep-f.durable)
+			f.data[i] ^= 1 << uint(rng.Intn(8))
+		}
+	}
+}
+
+// Bytes returns a copy of one file's current contents (test helper).
+func (m *MemFS) Bytes(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(name)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+// SetBytes overwrites one file's contents and marks them durable (test
+// and fuzz helper for staging arbitrary on-disk states).
+func (m *MemFS) SetBytes(name string, data []byte) {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[path.Dir(name)] = true
+	m.files[name] = &memFile{fs: m, name: name, data: append([]byte(nil), data...), durable: len(data)}
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.f.fs.mu.Lock()
+	defer h.f.fs.mu.Unlock()
+	if h.closed || !h.write {
+		return 0, fmt.Errorf("memfs: write %s: %w", h.f.name, fs.ErrClosed)
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.f.fs.mu.Lock()
+	defer h.f.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.pos >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+func (h *memHandle) Sync() error {
+	h.f.fs.mu.Lock()
+	defer h.f.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.f.durable = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.f.fs.mu.Lock()
+	defer h.f.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if int(size) < len(h.f.data) {
+		h.f.data = h.f.data[:size]
+	}
+	if h.f.durable > len(h.f.data) {
+		h.f.durable = len(h.f.data)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,228 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+)
+
+// Type discriminates log records.
+type Type uint8
+
+const (
+	// TypeBase is the first record of every log: the cube's shape and the
+	// full raw row set at attach time (width, per-dimension cardinalities,
+	// row-major keys, measures).
+	TypeBase Type = iota + 1
+	// TypeAppend and TypeDelete are buffered mutation batches, logged in
+	// acceptance order (a batch the engine rejected is never logged).
+	TypeAppend
+	TypeDelete
+	// TypeCommit is the durability barrier: the version it publishes plus
+	// the serving cache's resident cuboid masks at commit time (the warm-
+	// set hint recovery rebuilds from).
+	TypeCommit
+	// TypeAux is an opaque payload owned by the layer above the cube —
+	// the Materialized write path logs dictionary extensions this way.
+	TypeAux
+)
+
+// Record is one decoded log entry. Which fields are meaningful depends on
+// Type; encode/decode validate shape strictly so a corrupt but
+// CRC-colliding payload is still rejected.
+type Record struct {
+	Type Type
+	// Width and Cards describe the cube shape (TypeBase).
+	Width int
+	Cards []int
+	// Keys (row-major, Width per row) and Meas carry the rows of
+	// TypeBase, TypeAppend and TypeDelete records.
+	Keys []uint32
+	Meas []float64
+	// Version is the snapshot a TypeCommit record publishes.
+	Version uint64
+	// Resident holds the serving cache's cuboid masks at commit time.
+	Resident []uint32
+	// Aux is a TypeAux record's opaque payload.
+	Aux []byte
+}
+
+// ErrCorrupt reports a frame whose checksum matched but whose payload is
+// not a well-formed record — treated exactly like a torn frame: the log
+// ends there.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// maxPayload bounds a single record frame. Anything larger is treated as
+// corruption (a base record over 256 MiB of raw rows is far past this
+// system's memory-resident design point).
+const maxPayload = 256 << 20
+
+// frameHeader is the per-record framing overhead: u32 length + u32 CRC32C.
+const frameHeader = 8
+
+// appendFrame encodes rec as a framed record onto dst.
+func appendFrame(dst []byte, rec *Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	payloadStart := len(dst)
+	dst = rec.appendPayload(dst)
+	payload := dst[payloadStart:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, crcTable))
+	return dst
+}
+
+// appendPayload serializes the record body (type byte first).
+func (rec *Record) appendPayload(dst []byte) []byte {
+	dst = append(dst, byte(rec.Type))
+	switch rec.Type {
+	case TypeBase:
+		dst = appendU32(dst, uint32(rec.Width))
+		dst = appendU32(dst, uint32(len(rec.Cards)))
+		for _, c := range rec.Cards {
+			dst = appendU32(dst, uint32(c))
+		}
+		dst = rec.appendRows(dst)
+	case TypeAppend, TypeDelete:
+		dst = appendU32(dst, uint32(rec.Width))
+		dst = rec.appendRows(dst)
+	case TypeCommit:
+		dst = appendU64(dst, rec.Version)
+		dst = appendU32(dst, uint32(len(rec.Resident)))
+		for _, m := range rec.Resident {
+			dst = appendU32(dst, m)
+		}
+	case TypeAux:
+		dst = append(dst, rec.Aux...)
+	}
+	return dst
+}
+
+func (rec *Record) appendRows(dst []byte) []byte {
+	dst = appendU64(dst, uint64(len(rec.Meas)))
+	for _, k := range rec.Keys {
+		dst = appendU32(dst, k)
+	}
+	for _, m := range rec.Meas {
+		dst = appendU64(dst, math.Float64bits(m))
+	}
+	return dst
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// payloadReader walks a payload with bounds checking.
+type payloadReader struct {
+	p   []byte
+	off int
+	bad bool
+}
+
+func (r *payloadReader) u32() uint32 {
+	if r.bad || r.off+4 > len(r.p) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.p[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *payloadReader) u64() uint64 {
+	if r.bad || r.off+8 > len(r.p) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.p[r.off:])
+	r.off += 8
+	return v
+}
+
+// decodePayload parses one checksum-verified payload into a Record.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) == 0 {
+		return Record{}, ErrCorrupt
+	}
+	rec := Record{Type: Type(p[0])}
+	r := &payloadReader{p: p, off: 1}
+	switch rec.Type {
+	case TypeBase:
+		rec.Width = int(r.u32())
+		ncards := int(r.u32())
+		// Shape sanity before any allocation: everything must fit the
+		// remaining payload exactly.
+		if r.bad || rec.Width < 0 || ncards < 0 || ncards > (len(p)-r.off)/4 {
+			return Record{}, ErrCorrupt
+		}
+		rec.Cards = make([]int, ncards)
+		for i := range rec.Cards {
+			rec.Cards[i] = int(r.u32())
+		}
+		if err := rec.readRows(r); err != nil {
+			return Record{}, err
+		}
+	case TypeAppend, TypeDelete:
+		rec.Width = int(r.u32())
+		if err := rec.readRows(r); err != nil {
+			return Record{}, err
+		}
+	case TypeCommit:
+		rec.Version = r.u64()
+		nres := int(r.u32())
+		if r.bad || nres < 0 || nres > (len(p)-r.off)/4 {
+			return Record{}, ErrCorrupt
+		}
+		rec.Resident = make([]uint32, nres)
+		for i := range rec.Resident {
+			rec.Resident[i] = r.u32()
+		}
+	case TypeAux:
+		rec.Aux = append([]byte(nil), p[1:]...)
+		return rec, nil
+	default:
+		return Record{}, ErrCorrupt
+	}
+	if r.bad || r.off != len(p) {
+		return Record{}, ErrCorrupt
+	}
+	return rec, nil
+}
+
+// readRows parses the row block: count, keys, measures. The declared row
+// count must match the remaining payload exactly, so allocations are
+// bounded by the frame's real size.
+func (rec *Record) readRows(r *payloadReader) error {
+	n := r.u64()
+	if r.bad {
+		return ErrCorrupt
+	}
+	w := rec.Width
+	if w < 0 || n > uint64(maxPayload) {
+		return ErrCorrupt
+	}
+	need := n * uint64(4*w+8)
+	if uint64(len(r.p)-r.off) != need {
+		return ErrCorrupt
+	}
+	rec.Keys = make([]uint32, int(n)*w)
+	for i := range rec.Keys {
+		rec.Keys[i] = r.u32()
+	}
+	rec.Meas = make([]float64, n)
+	for i := range rec.Meas {
+		rec.Meas[i] = math.Float64frombits(r.u64())
+	}
+	if r.bad {
+		return ErrCorrupt
+	}
+	return nil
+}

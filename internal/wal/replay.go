@@ -1,0 +1,152 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path"
+)
+
+// ReplayResult is what a log directory durably holds.
+type ReplayResult struct {
+	// Records are the decoded records of the durable prefix, in order.
+	Records []Record
+	// Truncated reports a torn or corrupt frame ended the log early;
+	// TruncatedSeg/TruncatedAt locate it (segment index, byte offset).
+	Truncated    bool
+	TruncatedSeg int
+	TruncatedAt  int64
+	// Segments is how many segment files held valid records.
+	Segments int
+}
+
+// Replay reads the durable record prefix of the log in dir without
+// modifying anything: segments in order, frames in order, stopping at the
+// first torn or corrupt frame. Corruption never propagates — a bad CRC, a
+// truncated frame, an oversized length or a malformed payload all simply
+// end the log there.
+func Replay(fsys FS, dir string) (*ReplayResult, error) {
+	segs, err := listSegments(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: replay %s: %w", dir, err)
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("wal: replay %s: %w", dir, ErrNoLog)
+	}
+	res := &ReplayResult{}
+	for _, idx := range segs {
+		data, err := readAll(fsys, path.Join(dir, segName(idx)))
+		if err != nil {
+			return nil, fmt.Errorf("wal: replay %s: %w", segName(idx), err)
+		}
+		valid := scanSegment(data, &res.Records)
+		res.Segments++
+		if valid < int64(len(data)) {
+			// Torn tail: the log ends here; later segments (which can
+			// only hold data written after this point) are dead.
+			res.Truncated, res.TruncatedSeg, res.TruncatedAt = true, idx, valid
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// scanSegment decodes frames from data into out, returning the byte
+// length of the valid prefix.
+func scanSegment(data []byte, out *[]Record) int64 {
+	off := 0
+	for {
+		if off+frameHeader > len(data) {
+			return int64(off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n <= 0 || n > maxPayload || off+frameHeader+n > len(data) {
+			return int64(off)
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return int64(off)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return int64(off)
+		}
+		*out = append(*out, rec)
+		off += frameHeader + n
+	}
+}
+
+// Recover replays the log in dir, repairs it (truncating the torn tail
+// and removing dead later segments), and reopens it for appending. The
+// returned log continues exactly where the durable prefix ends, so a
+// recovered engine's next Commit extends the same history.
+func Recover(fsys FS, dir string, opt Options) (*ReplayResult, *Log, error) {
+	res, err := Replay(fsys, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	segs, err := listSegments(fsys, dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: recover %s: %w", dir, err)
+	}
+	lastValid := segs[len(segs)-1]
+	if res.Truncated {
+		lastValid = res.TruncatedSeg
+		// Chop the torn tail off the segment the log ends in.
+		f, err := fsys.OpenFile(path.Join(dir, segName(res.TruncatedSeg)), FlagWrite, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: recover %s: %w", dir, err)
+		}
+		terr := f.Truncate(res.TruncatedAt)
+		if serr := f.Sync(); terr == nil {
+			terr = serr
+		}
+		f.Close()
+		if terr != nil {
+			return nil, nil, fmt.Errorf("wal: recover %s: truncating torn tail: %w", dir, terr)
+		}
+		// Remove dead segments past the truncation point.
+		for _, idx := range segs {
+			if idx > lastValid {
+				if err := fsys.Remove(path.Join(dir, segName(idx))); err != nil {
+					return nil, nil, fmt.Errorf("wal: recover %s: %w", dir, err)
+				}
+			}
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			return nil, nil, fmt.Errorf("wal: recover %s: %w", dir, err)
+		}
+	}
+	size := segSize(fsys, dir, lastValid)
+	lg, err := continueLog(fsys, dir, opt, lastValid, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, lg, nil
+}
+
+// segSize returns a segment's current byte length.
+func segSize(fsys FS, dir string, idx int) int64 {
+	data, err := readAll(fsys, path.Join(dir, segName(idx)))
+	if err != nil {
+		return 0
+	}
+	return int64(len(data))
+}
+
+// readAll slurps one file through the FS interface.
+func readAll(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.OpenFile(name, FlagRead, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(readerOnly{f})
+}
+
+// readerOnly adapts a File to io.Reader for io.ReadAll.
+type readerOnly struct{ f File }
+
+func (r readerOnly) Read(p []byte) (int, error) { return r.f.Read(p) }

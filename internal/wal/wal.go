@@ -1,0 +1,113 @@
+// Package wal is the durable write-ahead log under the ingest commit
+// engine. The cube itself is memory-resident (the main-memory OLAP
+// cluster shape: RAM serving backed by a recoverable log); every
+// Append/Delete batch and every Commit marker is appended to a
+// checksummed, length-prefixed record log, and Commit's fsync is the
+// durability barrier — when ingest.Cube.Commit returns nil, the committed
+// version survives any crash.
+//
+// On-disk layout: a directory of segment files named wal-%08d.seg,
+// written strictly in order. Each record is framed as
+//
+//	[u32 payload length][u32 CRC32C(payload)][payload]
+//
+// with all integers little-endian. A reader accepts a record only when
+// the full frame is present and the checksum matches; the first torn or
+// corrupt frame ends the log — everything before it is the durable
+// prefix, everything after it (including later segments) is discarded.
+// Rotation syncs the finished segment before the next one is created, so
+// the durable prefix property holds across segment boundaries.
+//
+// All file access goes through the FS interface. DirFS is the real
+// operating-system implementation; MemFS is an in-memory one that tracks
+// an fsync watermark per file so a simulated crash can discard (a seeded
+// torn prefix of) unsynced writes; FaultFS wraps MemFS with seeded fault
+// injection — transient write/sync failures, torn writes at arbitrary
+// byte offsets, bit flips in the torn region, and a crash point at any
+// chosen operation — the machinery the crash-recovery oracle kills the
+// engine with.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+)
+
+// Flags mirror the os.O_* values the FS implementations accept.
+const (
+	FlagRead   = 0x0
+	FlagWrite  = 0x1
+	FlagCreate = 0x40
+	FlagAppend = 0x400
+)
+
+var (
+	// ErrExists is returned by Create when the directory already holds a
+	// log.
+	ErrExists = errors.New("wal: log already exists")
+	// ErrNoLog is returned by Replay and Recover when the directory holds
+	// no segments.
+	ErrNoLog = errors.New("wal: no log in directory")
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrBroken is returned once a write or sync has failed permanently;
+	// the log refuses further appends so the caller can degrade to
+	// read-only serving instead of acknowledging writes that may not be
+	// durable.
+	ErrBroken = errors.New("wal: log broken by a prior write failure")
+	// ErrCrashed is the failure FaultFS injects at and after its crash
+	// point.
+	ErrCrashed = errors.New("wal: simulated crash")
+)
+
+// TransientError marks a failure as retryable: the log's append/sync path
+// backs off and retries (after truncating any torn partial write) instead
+// of breaking the log. FaultFS injects these; operating-system errors are
+// treated as permanent.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return fmt.Sprintf("wal: transient: %v", e.Err) }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is (or wraps) a TransientError.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// crcTable is the Castagnoli polynomial table (CRC32C, hardware-assisted
+// on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// File is the subset of *os.File the log needs.
+type File interface {
+	// Write appends len(p) bytes. A short write must return an error.
+	Write(p []byte) (int, error)
+	// Read reads from the handle's cursor (readers only).
+	Read(p []byte) (int, error)
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Truncate discards bytes past size (used to repair torn writes).
+	Truncate(size int64) error
+	// Close releases the handle.
+	Close() error
+}
+
+// FS is the filesystem surface the log runs on. Paths use forward
+// slashes; implementations may interpret them relative to any root.
+type FS interface {
+	// OpenFile opens name with the given Flag* bits. FlagCreate creates
+	// the file if missing; FlagAppend positions every write at the end.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadDir lists the file names in dir in lexical order.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm fs.FileMode) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// SyncDir flushes dir's entry table (creations, removals) to stable
+	// storage.
+	SyncDir(dir string) error
+}

@@ -273,9 +273,16 @@ func (m *Materialized) Snapshots() []Snapshot {
 // sets, values must be the decimal code strings Answer returns). Nothing
 // is visible to queries until Commit.
 func (m *Materialized) Append(rows [][]string, measures []float64) error {
-	keys, err := m.encodeRows(rows, measures, true)
+	keys, added, err := m.encodeRows(rows, measures, true)
 	if err != nil {
 		return err
+	}
+	// On a durable cube, new dictionary entries must be in the log before
+	// the batch that uses their codes, so recovery can decode them.
+	for _, e := range added {
+		if err := m.cube.LogAux(encodeDictExt(e.pos, e.code, e.val)); err != nil {
+			return err
+		}
 	}
 	return m.cube.Append(keys, measures)
 }
@@ -286,7 +293,7 @@ func (m *Materialized) Append(rows [][]string, measures []float64) error {
 // otherwise Delete fails and leaves the batch untouched. Nothing is
 // visible to queries until Commit.
 func (m *Materialized) Delete(rows [][]string, measures []float64) error {
-	keys, err := m.encodeRows(rows, measures, false)
+	keys, _, err := m.encodeRows(rows, measures, false)
 	if err != nil {
 		return err
 	}
@@ -306,57 +313,70 @@ func (m *Materialized) Commit() (Snapshot, error) {
 	return publicSnapshot(s), nil
 }
 
+// dictExt records one dictionary extension made while encoding a batch.
+type dictExt struct {
+	pos  int
+	code uint32
+	val  string
+}
+
 // encodeRows dictionary-encodes string rows for the write path. extend
 // assigns fresh codes to unseen values (Append); without it an unseen
-// value is an error (Delete — the row cannot be live).
-func (m *Materialized) encodeRows(rows [][]string, measures []float64, extend bool) ([]uint32, error) {
+// value is an error (Delete — the row cannot be live). The returned
+// extensions are the entries this batch added, in assignment order.
+func (m *Materialized) encodeRows(rows [][]string, measures []float64, extend bool) ([]uint32, []dictExt, error) {
 	if len(rows) != len(measures) {
-		return nil, fmt.Errorf("icebergcube: %d rows but %d measures", len(rows), len(measures))
+		return nil, nil, fmt.Errorf("icebergcube: %d rows but %d measures", len(rows), len(measures))
 	}
 	keys := make([]uint32, 0, len(rows)*len(m.dims))
+	var added []dictExt
 	for i, row := range rows {
 		if len(row) != len(m.dims) {
-			return nil, fmt.Errorf("icebergcube: row %d has %d values, want %d", i, len(row), len(m.dims))
+			return nil, nil, fmt.Errorf("icebergcube: row %d has %d values, want %d", i, len(row), len(m.dims))
 		}
 		for p, v := range row {
-			code, err := m.encodeValue(p, v, extend)
+			code, fresh, err := m.encodeValue(p, v, extend)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
+			}
+			if fresh {
+				added = append(added, dictExt{pos: p, code: code, val: v})
 			}
 			keys = append(keys, code)
 		}
 	}
-	return keys, nil
+	return keys, added, nil
 }
 
 // encodeValue maps one dimension value to its code, consulting the
-// dataset dictionary first, then the extension layer.
-func (m *Materialized) encodeValue(p int, v string, extend bool) (uint32, error) {
+// dataset dictionary first, then the extension layer. fresh reports the
+// code was assigned by this call.
+func (m *Materialized) encodeValue(p int, v string, extend bool) (code uint32, fresh bool, err error) {
 	if m.ds.dict != nil {
 		if c, ok := m.ds.dict.Encoders[m.dims[p]].Lookup(v); ok {
-			return c, nil
+			return c, false, nil
 		}
 		m.extMu.Lock()
 		defer m.extMu.Unlock()
 		e := &m.ext[p]
 		if c, ok := e.codes[v]; ok {
-			return c, nil
+			return c, false, nil
 		}
 		if !extend {
-			return 0, fmt.Errorf("icebergcube: unknown value %q for dimension %q", v, m.attrs[p])
+			return 0, false, fmt.Errorf("icebergcube: unknown value %q for dimension %q", v, m.attrs[p])
 		}
 		c := uint32(e.base + len(e.values))
 		e.codes[v] = c
 		e.values = append(e.values, v)
-		return c, nil
+		return c, true, nil
 	}
 	// Synthetic data sets have no dictionary: values are the canonical
 	// decimal code strings Answer produces.
-	code, err := strconv.ParseUint(v, 10, 32)
-	if err != nil || strconv.FormatUint(code, 10) != v {
-		return 0, fmt.Errorf("icebergcube: synthetic dimension %q needs a decimal code value, got %q", m.attrs[p], v)
+	n, perr := strconv.ParseUint(v, 10, 32)
+	if perr != nil || strconv.FormatUint(n, 10) != v {
+		return 0, false, fmt.Errorf("icebergcube: synthetic dimension %q needs a decimal code value, got %q", m.attrs[p], v)
 	}
-	return uint32(code), nil
+	return uint32(n), false, nil
 }
 
 // decodeValue renders one materialized dimension's code: the dataset
