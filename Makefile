@@ -7,7 +7,7 @@ FUZZ_TARGETS_ROOT := FuzzIncrementalMaintenance
 # WAL fuzz targets (seed corpus under internal/wal/testdata/fuzz/).
 FUZZ_TARGETS_WAL := FuzzWALReplay
 
-.PHONY: build vet test short race chaos fuzz corpus serve-smoke ingest-smoke wal-smoke bench-smoke
+.PHONY: build vet test short race chaos fuzz corpus serve-smoke ingest-smoke wal-smoke adaptive-smoke bench-smoke
 
 # The chaos suite: fault injection, failure detection and recovery tests
 # across the transport, scheduler, distributed-cube and POL layers. Every
@@ -93,10 +93,24 @@ wal-smoke:
 	go test -race -timeout 10m -count=1 ./internal/wal ./internal/ingest
 	go test -race -timeout 10m -count=1 -run 'Durable|OpenDurable' .
 
+# The adaptive-admission correctness surface under -race: the internal/serve
+# policy suite (plan determinism, cost-aware eviction, background fills,
+# commit handoff), the commit-vs-background-fill race test, the root-package
+# adaptive-vs-LRU equivalence oracle (byte-identical answers across budgets,
+# commits and time travel, with and without a background executor), and the
+# adaptive experiment's live hit-rate/latency win over LRU.
+adaptive-smoke:
+	go test -race -timeout 10m -count=1 ./internal/serve
+	go test -race -timeout 10m -count=1 -run 'TestCommitRacesBackgroundFills' ./internal/ingest
+	go test -race -timeout 10m -count=1 -run 'TestAdaptive' .
+	go test -timeout 10m -count=1 -run 'TestAdaptive_' ./internal/exp
+
 # One pass over the paper-figure benchmarks, snapshotted to BENCH_<date>.json
 # and gated against bench/baseline.json. Only allocs/op regressions fail —
 # the sort/partition kernels are zero-allocation in steady state, so the
 # count is deterministic; ns/op on shared runners is too noisy to gate.
+# -strict makes a benchmark that is absent from the baseline a failure, so
+# every new benchmark must be frozen into bench/baseline.json in its own PR.
 bench-smoke:
-	go test -run xxx -bench 'BenchmarkFig|BenchmarkSec5_1|BenchmarkServe|BenchmarkCommit|BenchmarkIngest|BenchmarkWAL|BenchmarkRecover' -benchmem -benchtime 1x -timeout 30m . | \
-		go run ./cmd/benchguard -out BENCH_$$(date +%F).json -baseline bench/baseline.json
+	go test -run xxx -bench 'BenchmarkFig|BenchmarkSec5_1|BenchmarkServe|BenchmarkAdaptive|BenchmarkCommit|BenchmarkIngest|BenchmarkWAL|BenchmarkRecover' -benchmem -benchtime 1x -timeout 30m . | \
+		go run ./cmd/benchguard -strict -out BENCH_$$(date +%F).json -baseline bench/baseline.json

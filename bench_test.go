@@ -102,6 +102,11 @@ func BenchmarkFigCores_BPP(b *testing.B) { benchCores(b, "BPP") }
 // (arity sweep + Zipf workload), as cubebench -exp serve runs it.
 func BenchmarkServeExperiment(b *testing.B) { runExpBench(b, "serve") }
 
+// BenchmarkAdaptiveExperiment replays the adaptive-vs-LRU admission
+// experiment (identical Zipf streams at three byte budgets, in-run
+// equivalence oracle on), as cubebench -exp adaptive runs it.
+func BenchmarkAdaptiveExperiment(b *testing.B) { runExpBench(b, "adaptive") }
+
 // BenchmarkServe measures the serving layer's regimes on the
 // weather-shaped dataset against the legacy full-leaf rescan it replaced.
 // The acceptance bar for the serving PR: ancestor/cache-served coarse

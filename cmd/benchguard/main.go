@@ -132,6 +132,7 @@ func main() {
 		allocSlack = flag.Float64("alloc-slack", 1.5, "allowed allocs/op growth factor over baseline")
 		allocGrace = flag.Float64("alloc-grace", 64, "absolute allocs/op grace added to the limit (absorbs one-time setup noise on near-zero baselines)")
 		timeSlack  = flag.Float64("time-slack", 0, "allowed ns/op growth factor (0 = no wall-time gate; CI timing is too noisy)")
+		strict     = flag.Bool("strict", false, "fail (instead of warn) on benchmarks absent from the baseline — forces every new benchmark to be frozen into the baseline in the same PR")
 		quiet      = flag.Bool("quiet", false, "do not echo the benchmark text")
 	)
 	flag.Parse()
@@ -186,12 +187,16 @@ func main() {
 		}
 		regs, missing := compare(snap.Results, results, *allocSlack, *allocGrace, *timeSlack)
 		for _, name := range missing {
-			fmt.Fprintf(os.Stderr, "benchguard: WARNING %s not in baseline %s (new benchmark, not gated)\n", name, *baseline)
+			if *strict {
+				fmt.Fprintf(os.Stderr, "benchguard: MISSING %s not in baseline %s (add it to the baseline)\n", name, *baseline)
+			} else {
+				fmt.Fprintf(os.Stderr, "benchguard: WARNING %s not in baseline %s (new benchmark, not gated)\n", name, *baseline)
+			}
 		}
 		for _, r := range regs {
 			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION %s: %s\n", r.name, r.what)
 		}
-		if len(regs) > 0 {
+		if len(regs) > 0 || (*strict && len(missing) > 0) {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchguard: %d benchmarks within limits of %s\n", len(results), *baseline)

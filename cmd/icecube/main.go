@@ -42,8 +42,9 @@ func main() {
 		cores     = flag.Int("cores", 1, "intra-worker execution-pool width (wall clock only; results identical)")
 		cuboid    = flag.String("cuboid", "", "print this group-by's cells (comma-separated attributes; empty = summary only)")
 		limit     = flag.Int("limit", 20, "max cells to print")
-		stats     = flag.Bool("stats", false, "print per-worker simulated loads")
+		stats     = flag.Bool("stats", false, "print per-worker simulated loads; with -waldir, dump cache metrics and the per-cuboid stats table after the serve run")
 		waldir    = flag.String("waldir", "", "serve durably: write-ahead log directory (created, or recovered from if it already holds a log)")
+		policy    = flag.String("policy", "lru", "serving-cache admission policy with -waldir: lru or adaptive")
 	)
 	flag.Parse()
 
@@ -62,7 +63,7 @@ func main() {
 	}
 
 	if *waldir != "" {
-		serveDurable(ds, dimList, *waldir, *workers, *minsup, *cuboid, *limit)
+		serveDurable(ds, dimList, *waldir, *workers, *minsup, *cuboid, *limit, *policy, *stats)
 		return
 	}
 
@@ -116,12 +117,17 @@ func main() {
 // serveDurable runs the durable serving path: materialize into (or
 // recover from) the write-ahead log in waldir, report the committed
 // history, and answer the requested cuboid from the serving cache.
-func serveDurable(ds *icebergcube.Dataset, dimList []string, waldir string, workers int, minsup int64, cuboid string, limit int) {
+func serveDurable(ds *icebergcube.Dataset, dimList []string, waldir string, workers int, minsup int64, cuboid string, limit int, policy string, stats bool) {
 	m, recovered, err := icebergcube.OpenDurable(ds, dimList, workers, waldir)
 	if err != nil {
 		fatal(err)
 	}
 	defer m.Close()
+	if policy != "" && policy != string(icebergcube.CacheLRU) {
+		if err := m.SetCachePolicy(icebergcube.CachePolicyConfig{Policy: icebergcube.CachePolicy(policy)}); err != nil {
+			fatal(err)
+		}
+	}
 	if recovered {
 		snaps := m.Snapshots()
 		fmt.Printf("recovered %d committed snapshot(s) from %s (head v%d, %d rows, %d leaf cells)\n",
@@ -130,21 +136,50 @@ func serveDurable(ds *icebergcube.Dataset, dimList []string, waldir string, work
 		fmt.Printf("materialized %d leaf cells into %s (v%d, simulated precompute %.2fs on %d workers)\n",
 			m.NumCells(), waldir, m.Version(), m.PrecomputeSeconds, workers)
 	}
-	if cuboid == "" {
-		return
-	}
-	attrs := strings.Split(cuboid, ",")
-	cells, err := m.Answer(attrs, minsup)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("cuboid (%s) at v%d: %d cells\n", cuboid, m.Version(), len(cells))
-	for i, c := range cells {
-		if i >= limit {
-			fmt.Printf("  ... %d more\n", len(cells)-limit)
-			break
+	if cuboid != "" {
+		attrs := strings.Split(cuboid, ",")
+		cells, err := m.Answer(attrs, minsup)
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Printf("  %s\n", c)
+		fmt.Printf("cuboid (%s) at v%d: %d cells\n", cuboid, m.Version(), len(cells))
+		for i, c := range cells {
+			if i >= limit {
+				fmt.Printf("  ... %d more\n", len(cells)-limit)
+				break
+			}
+			fmt.Printf("  %s\n", c)
+		}
+	}
+	if stats {
+		dumpServeStats(m)
+	}
+}
+
+// dumpServeStats prints the cache counters and the per-cuboid stats
+// table: how each observed group-by shape was served and where it stands
+// with the admission policy.
+func dumpServeStats(m *icebergcube.Materialized) {
+	m.WaitBackground()
+	cm := m.CacheMetrics()
+	fmt.Printf("cache [%s]: %d queries, %d hits, %d coalesced, %d leaf aggs, %d ancestor aggs\n",
+		cm.Policy, cm.Queries, cm.CacheHits, cm.Coalesced, cm.LeafAggregations, cm.AncestorAggregations)
+	fmt.Printf("cache: %d/%d budget bytes in %d cuboids, %d evictions, %d replans, %d background fills (%d admitted)\n",
+		cm.ResidentBytes, cm.BudgetBytes, cm.ResidentCuboids, cm.Evictions, cm.Replans, cm.BackgroundFills, cm.BackgroundAdmitted)
+	for _, cs := range m.CuboidStats() {
+		attrs := strings.Join(cs.Attrs, ",")
+		if attrs == "" {
+			attrs = "ALL"
+		}
+		flags := ""
+		if cs.Resident {
+			flags += " resident"
+		}
+		if cs.Planned {
+			flags += " planned"
+		}
+		fmt.Printf("  cuboid (%s): %d hits, %d misses, %d bg fills, %d cells, %d bytes, derive scans %d%s\n",
+			attrs, cs.Hits, cs.Misses, cs.BackgroundFills, cs.Cells, cs.Bytes, cs.DeriveCells, flags)
 	}
 }
 

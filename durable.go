@@ -107,11 +107,17 @@ func OpenDurable(ds *Dataset, dims []string, workers int, walDir string) (*Mater
 	return m, false, err
 }
 
-// Close releases the write-ahead log, if one is attached (syncing any
-// logged-but-unsynced batch records first). The cube stays queryable;
-// further writes on a durable cube fail. Close on a non-durable cube is
-// a no-op.
-func (m *Materialized) Close() error { return m.cube.Close() }
+// Close stops the adaptive policy's background machinery (dropping any
+// queued materializations) and releases the write-ahead log, if one is
+// attached (syncing any logged-but-unsynced batch records first). The
+// cube stays queryable; further writes on a durable cube fail. Close on
+// a non-durable, LRU-policy cube is a no-op.
+func (m *Materialized) Close() error {
+	m.polMu.Lock()
+	m.releaseBackgroundLocked()
+	m.polMu.Unlock()
+	return m.cube.Close()
+}
 
 // Degraded returns the write-ahead-log failure that made the cube
 // read-only, or nil. See ErrDegraded.

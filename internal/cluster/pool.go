@@ -128,6 +128,16 @@ func (p *Pool) Drain(into *cost.Counters) {
 	}
 }
 
+// RunUnits fans n independent units across the pool and returns when all
+// have finished — the entry point for subsystems that are not cluster
+// tasks (the serving layer's background materializer satisfies its Runner
+// interface with it). Units receive no grip and charge no counters; the
+// calling goroutine participates in the work, and concurrent RunUnits
+// calls interleave safely (forks are registered independently).
+func (p *Pool) RunUnits(n int, unit func(i int)) {
+	p.grips[0].ForkJoin(n, unit)
+}
+
 // work is the helper-goroutine loop: steal unclaimed units from the newest
 // active fork, sleep when there is nothing to steal.
 func (p *Pool) work(g *Grip) {

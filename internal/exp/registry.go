@@ -59,6 +59,15 @@ func Experiments() []Experiment {
 				}
 				return c
 			}},
+		{ID: "adaptive", Title: "adaptive vs LRU cuboid admission under Zipf", Run: Adaptive,
+			// Wall-clock measurement; the hit-vs-rescan gap needs a leaf
+			// big enough to make misses visibly expensive.
+			scale: func(c Config) Config {
+				if c.Tuples < 8000 {
+					c.Tuples = 8000
+				}
+				return c
+			}},
 		{ID: "ingest", Title: "incremental maintenance: commit vs full recompute", Run: Ingest,
 			// Wall-clock measurement; the delta fractions need a base large
 			// enough that 0.1% is at least a handful of rows.

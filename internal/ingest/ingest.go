@@ -434,6 +434,15 @@ func (c *Cube) SetBudget(bytes int64) {
 	c.Current().Srv.SetBudget(bytes)
 }
 
+// SetServePolicy installs the cache admission policy (and optional
+// background executor) on the current version's server. Commit handoffs
+// propagate both to every future version, so one call configures the
+// whole chain. A nil bg keeps re-plans and fills synchronous (the
+// deterministic mode).
+func (c *Cube) SetServePolicy(o serve.PolicyOptions, bg *serve.Background) {
+	c.Current().Srv.SetPolicy(o, bg)
+}
+
 // Degraded returns the failure that made the cube read-only, or nil.
 func (c *Cube) Degraded() error {
 	c.mu.Lock()
@@ -768,6 +777,11 @@ func (c *Cube) commitLocked(start time.Time, logIt bool) (Snapshot, error) {
 	}
 	srv := serve.NewServer(newLeaf, c.cards, c.budget)
 	srv.Warm(folded)
+	// Carry the serving policy and workload model forward and retire the
+	// predecessor's background work; under the adaptive policy the commit
+	// doubles as a re-plan trigger, so the successor's resident set is
+	// re-justified against post-commit sizes.
+	head.Srv.Handoff(srv)
 	snap.CommitSeconds = time.Since(start).Seconds()
 	v := &View{Snapshot: snap, Srv: srv}
 	c.snaps = append(c.snaps, v)

@@ -61,11 +61,19 @@ func (m Mask) SubsetOf(o Mask) bool { return m&^o == 0 }
 func (m Mask) SupersetOf(o Mask) bool { return o&^m == 0 }
 
 // SmallestAncestor picks, among the candidate cuboids, the cheapest one a
-// group-by q can be answered from: a superset of q with the fewest cells
-// (ties broken toward fewer attributes, then the lower mask, so selection
-// is deterministic). size reports a candidate's cell count. The serving
-// layer uses this to rewrite queries onto the smallest resident cuboid
-// instead of always rescanning the leaf.
+// group-by q can be answered from: a superset of q with the fewest cells.
+// size reports a candidate's cell count.
+//
+// Tie-break rule (normative — the serving layer's answer provenance and
+// the admission planner both depend on selection being a pure function of
+// the candidate set): among candidates with equal cell counts, the one
+// with fewer GROUP BY attributes wins; among those, the numerically
+// lowest mask wins. Candidate order never matters, so LRU and adaptive
+// cache configurations holding the same resident set rewrite every query
+// identically — the invariant the adaptive-vs-LRU serving oracle checks.
+//
+// The serving layer uses this to rewrite queries onto the smallest
+// resident cuboid instead of always rescanning the leaf.
 func SmallestAncestor(q Mask, candidates []Mask, size func(Mask) int) (Mask, bool) {
 	best, bestSize := Mask(0), -1
 	for _, c := range candidates {
@@ -84,6 +92,36 @@ func SmallestAncestor(q Mask, candidates []Mask, size func(Mask) int) (Mask, boo
 		best, bestSize = c, n
 	}
 	return best, bestSize >= 0
+}
+
+// ForEachSubmask visits every submask of m — the cuboids derivable from m
+// by further aggregation, m itself and the "all" node included — in
+// descending numeric order. The standard (s-1)&m walk visits each of the
+// 2^Count(m) submasks exactly once; the admission planner uses it to
+// enumerate the descendants a materialized cuboid would cheapen.
+func (m Mask) ForEachSubmask(fn func(Mask)) {
+	s := m
+	for {
+		fn(s)
+		if s == 0 {
+			return
+		}
+		s = (s - 1) & m
+	}
+}
+
+// Descendants filters candidates to the cuboids derivable from m (strict
+// and non-strict subsets alike, preserving input order). The benefit
+// traversal uses it to find which observed query shapes a candidate
+// materialization would serve.
+func Descendants(m Mask, candidates []Mask) []Mask {
+	out := make([]Mask, 0, len(candidates))
+	for _, c := range candidates {
+		if c.SubsetOf(m) {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // PrefixOf reports whether m's attribute sequence is a prefix of o's, i.e.

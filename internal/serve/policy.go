@@ -1,0 +1,278 @@
+// Workload-adaptive cuboid admission: a Harinarayan/Rajaraman/Ullman-style
+// greedy benefit-per-byte selector over the cube lattice, driven by the
+// server's per-cuboid stats table. The planner is a pure function of a
+// stats snapshot — same snapshot, same seed, same plan — so re-plans are
+// reproducible and testable in isolation; seeded hashes break score ties.
+package serve
+
+import (
+	"math"
+
+	"icebergcube/internal/lattice"
+)
+
+// Policy selects the cache's admission/eviction discipline.
+type Policy int
+
+const (
+	// PolicyLRU is the original recency policy: admit every computed
+	// cuboid, evict from the LRU tail.
+	PolicyLRU Policy = iota
+	// PolicyAdaptive is the workload-adaptive policy: a periodic greedy
+	// benefit-per-byte plan decides which cuboids should be resident,
+	// background fills materialize missing winners, and eviction removes
+	// the resident cuboid with the lowest retained benefit per byte —
+	// never the pinned leaf, which lives outside the cache entirely.
+	PolicyAdaptive
+)
+
+func (p Policy) String() string {
+	if p == PolicyAdaptive {
+		return "adaptive"
+	}
+	return "lru"
+}
+
+// DefaultReplanEvery is the re-plan period in foreground queries when the
+// caller does not choose one.
+const DefaultReplanEvery = 64
+
+// maxPlanCandidates bounds the candidate set one plan considers (observed
+// shapes plus pairwise unions); maxPlanWinners bounds a plan's output so a
+// single re-plan cannot queue unbounded background work.
+const (
+	maxPlanCandidates = 256
+	maxPlanWinners    = 64
+)
+
+// PolicyOptions configures the adaptive policy on a Server.
+type PolicyOptions struct {
+	// Policy selects LRU or adaptive admission.
+	Policy Policy
+	// Seed drives the planner's deterministic tie-breaks (0 = 1).
+	Seed int64
+	// ReplanEvery re-plans after this many foreground queries (≤ 0 =
+	// DefaultReplanEvery). Commits always trigger a re-plan regardless.
+	ReplanEvery int
+}
+
+func (o PolicyOptions) withDefaults() PolicyOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ReplanEvery <= 0 {
+		o.ReplanEvery = DefaultReplanEvery
+	}
+	return o
+}
+
+// tieKey mixes the seed and a mask into a deterministic 64-bit tie-break
+// key (splitmix64 finalizer). Lower keys are favored by the planner and
+// survive eviction longer, so equal-score decisions are stable for a seed
+// but decorrelated across seeds.
+func tieKey(seed int64, m lattice.Mask) uint64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(m)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// planInput is everything a re-plan reads: the stats snapshot plus the
+// leaf's shape (estimates for never-computed candidates derive from the
+// per-dimension cardinalities).
+type planInput struct {
+	stats    []CuboidStats // sorted by mask (statsTable.snapshot order)
+	leafMask lattice.Mask
+	leafRows int
+	cards    []int
+	budget   int64
+	seed     int64
+}
+
+// cuboidBytesEstimate is the footprint model for a cuboid that has never
+// been computed: the cache's own SizeBytes formula applied to a row
+// estimate.
+func cuboidBytesEstimate(rows, width int) int64 {
+	return cuboidOverheadBytes + int64(rows)*(4*int64(width)+stateBytes)
+}
+
+// estRows bounds a never-computed cuboid's cell count by the product of
+// its dimensions' cardinalities, capped at the leaf's cell count (a
+// cuboid can never have more cells than its finest ancestor).
+func estRows(m lattice.Mask, leafRows int, cards []int) int {
+	rows := 1
+	for _, d := range m.Dims() {
+		if d < len(cards) && cards[d] > 0 {
+			rows *= cards[d]
+		}
+		if rows >= leafRows {
+			return leafRows
+		}
+	}
+	return rows
+}
+
+// planEntry is one candidate's working state during the greedy selection.
+type planEntry struct {
+	mask    lattice.Mask
+	queries int64 // observed foreground demand (hits + misses)
+	rows    int   // measured, else estimated
+	bytes   int64 // measured, else estimated
+}
+
+// planResult is a re-plan's output: the winners in admission-priority
+// order (highest marginal benefit per byte first) and the retained-benefit
+// scores eviction consults — winners carry their selection-time marginal
+// score, everything else its residual standalone score.
+type planResult struct {
+	winners []lattice.Mask
+	scores  map[lattice.Mask]float64
+}
+
+// planAdaptive runs the greedy benefit-per-byte selection. Benefit of
+// materializing candidate c = Σ over observed query shapes d ⊆ c of
+// queries(d) × (cost(d | chosen so far) − rows(c)), where cost(d | S) is
+// the cell count of d's smallest ancestor in S ∪ {leaf}; each round picks
+// the candidate with the highest benefit normalized by its footprint,
+// until the budget is spent or no candidate helps. Fully deterministic
+// given the input: candidates are visited in mask order and score ties
+// break by seeded tieKey, then mask.
+func planAdaptive(in planInput) planResult {
+	res := planResult{scores: make(map[lattice.Mask]float64, len(in.stats))}
+	if in.leafRows <= 0 || in.budget <= 0 {
+		return res
+	}
+
+	// Observed demand, skipping the leaf (pinned outside the cache).
+	observed := make([]planEntry, 0, len(in.stats))
+	for _, s := range in.stats {
+		if s.Mask == in.leafMask || s.Queries() == 0 {
+			continue
+		}
+		e := planEntry{mask: s.Mask, queries: s.Queries(), rows: s.Rows, bytes: s.Bytes}
+		if e.rows == 0 {
+			e.rows = estRows(e.mask, in.leafRows, in.cards)
+		}
+		if e.bytes == 0 {
+			e.bytes = cuboidBytesEstimate(e.rows, e.mask.Count())
+		}
+		observed = append(observed, e)
+	}
+	if len(observed) == 0 {
+		return res
+	}
+
+	// Candidates: every observed shape, then pairwise unions (covering
+	// ancestors that can serve several observed shapes at once), in mask
+	// order, capped.
+	candidates := append([]planEntry(nil), observed...)
+	have := make(map[lattice.Mask]bool, len(observed))
+	for _, e := range observed {
+		have[e.mask] = true
+	}
+	for i := 0; i < len(observed) && len(candidates) < maxPlanCandidates; i++ {
+		for j := i + 1; j < len(observed) && len(candidates) < maxPlanCandidates; j++ {
+			u := observed[i].mask | observed[j].mask
+			if u == in.leafMask || have[u] {
+				continue
+			}
+			have[u] = true
+			rows := estRows(u, in.leafRows, in.cards)
+			candidates = append(candidates, planEntry{
+				mask:  u,
+				rows:  rows,
+				bytes: cuboidBytesEstimate(rows, u.Count()),
+			})
+		}
+	}
+
+	// cost[d] = cells of d's smallest ancestor among winners ∪ {leaf}.
+	cost := make(map[lattice.Mask]int, len(observed))
+	for _, e := range observed {
+		cost[e.mask] = in.leafRows
+	}
+	benefit := func(c planEntry) float64 {
+		var b float64
+		for _, d := range observed {
+			if !d.mask.SubsetOf(c.mask) {
+				continue
+			}
+			if saved := cost[d.mask] - c.rows; saved > 0 {
+				b += float64(d.queries) * float64(saved)
+			}
+		}
+		return b
+	}
+
+	remaining := in.budget
+	chosen := make(map[lattice.Mask]bool)
+	for len(res.winners) < maxPlanWinners {
+		bestIdx, bestScore, bestKey := -1, 0.0, uint64(0)
+		for i, c := range candidates {
+			if chosen[c.mask] || c.bytes > remaining || c.bytes <= 0 {
+				continue
+			}
+			score := benefit(c) / float64(c.bytes)
+			if score <= 0 {
+				continue
+			}
+			key := tieKey(in.seed, c.mask)
+			better := score > bestScore ||
+				(score == bestScore && (key < bestKey ||
+					(key == bestKey && (bestIdx < 0 || c.mask < candidates[bestIdx].mask))))
+			if bestIdx < 0 || better {
+				bestIdx, bestScore, bestKey = i, score, key
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		w := candidates[bestIdx]
+		chosen[w.mask] = true
+		remaining -= w.bytes
+		res.winners = append(res.winners, w.mask)
+		res.scores[w.mask] = bestScore
+		for _, d := range observed {
+			if d.mask.SubsetOf(w.mask) && w.rows < cost[d.mask] {
+				cost[d.mask] = w.rows
+			}
+		}
+	}
+
+	// Residual scores for everything observed but not selected: the
+	// standalone value the cuboid would retain if resident — demand times
+	// the cells a hit saves over re-deriving from the winners' cover, per
+	// byte. Eviction uses these to rank non-winner residents; a shape the
+	// plan has no use for scores 0 and is the first victim.
+	for _, d := range observed {
+		if chosen[d.mask] {
+			continue
+		}
+		saved := cost[d.mask] - d.rows
+		if saved < 0 {
+			saved = 0
+		}
+		res.scores[d.mask] = float64(d.queries) * float64(saved) / float64(d.bytes)
+	}
+	return res
+}
+
+// admissionScore is the cost-aware score of a cuboid computed on the miss
+// path, in the planner's units (demand × cells saved per future hit,
+// per byte): queries is the shape's observed demand including the query
+// being served, scanned the cells just aggregated to derive it. The cache
+// admits it only by evicting strictly less valuable residents.
+func admissionScore(queries int64, scanned, rows int, bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	saved := scanned - rows
+	if saved < 0 {
+		saved = 0
+	}
+	return float64(queries) * float64(saved) / float64(bytes)
+}
+
+// infScore pins a score above any finite admission score; Warm uses it so
+// commit-carried residents survive until the first re-plan rescores them.
+var infScore = math.Inf(1)

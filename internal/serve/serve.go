@@ -5,14 +5,24 @@
 // query from the smallest resident ancestor (Gray et al.'s cube-lattice
 // observation: any cuboid is derivable from any superset cuboid by
 // further aggregation). Computed cuboids are admitted into a
-// byte-budgeted LRU cache, so repeated and nearby query shapes amortize
-// to near-lookup cost; the leaf itself is pinned outside the cache and
-// never evicted. Concurrent identical misses are coalesced so each
-// cuboid is computed once (singleflight).
+// byte-budgeted cache, so repeated and nearby query shapes amortize to
+// near-lookup cost; the leaf itself is pinned outside the cache and never
+// evicted. Concurrent identical misses are coalesced so each cuboid is
+// computed once (singleflight).
+//
+// Residency is governed by one of two policies. The default LRU admits
+// every computed cuboid and evicts by recency. The adaptive policy
+// (PolicyAdaptive) instead tracks per-cuboid demand and measured derive
+// cost in a stats table, periodically runs a greedy benefit-per-byte plan
+// over the lattice (policy.go), materializes missing winners in the
+// background (background.go), and evicts the resident cuboid with the
+// lowest retained benefit per byte. Both policies serve byte-identical
+// answers — residency only decides how fast, never what.
 package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -60,8 +70,8 @@ type Metrics struct {
 	// Coalesced counts queries that piggybacked on an identical
 	// in-flight miss.
 	Coalesced int64
-	// Computes counts aggregations performed (cache misses that did
-	// work).
+	// Computes counts foreground aggregations performed (cache misses
+	// that did work; background fills are counted separately).
 	Computes int64
 	// LeafAggregations / AncestorAggregations split Computes by source:
 	// the pinned leaf vs a smaller cached ancestor.
@@ -73,6 +83,14 @@ type Metrics struct {
 	Rejected     int64
 	Evictions    int64
 	EvictedBytes int64
+	// BackgroundFills counts cuboids computed by the background
+	// materializer on the adaptive planner's behalf; BackgroundAdmitted
+	// counts how many of those the cache retained.
+	BackgroundFills    int64
+	BackgroundAdmitted int64
+	// Replans counts adaptive planning passes (query-count periodic and
+	// commit-triggered).
+	Replans int64
 	// ResidentBytes / ResidentCuboids describe the cache's current
 	// occupancy (the pinned leaf is excluded). ResidentBytes ≤
 	// BudgetBytes always.
@@ -82,6 +100,8 @@ type Metrics struct {
 	BudgetBytes int64
 	// LeafBytes is the pinned leaf's footprint (not budgeted).
 	LeafBytes int64
+	// Policy names the active admission policy ("lru" or "adaptive").
+	Policy string
 }
 
 // Server answers group-by queries over one materialized leaf cuboid.
@@ -90,11 +110,30 @@ type Server struct {
 	leaf  *Cuboid
 	cards []int // per leaf column: code cardinality, for radix sizing
 	cache *cache
+	stats *statsTable
 
 	mu       sync.Mutex
 	inflight map[lattice.Mask]*flight
 
 	scratch sync.Pool // *relation.Scratch, one per aggregating goroutine
+
+	// opt is the active policy; bg the optional background executor; both
+	// swap atomically (SetPolicy / Handoff).
+	opt atomic.Pointer[PolicyOptions]
+	bg  atomic.Pointer[Background]
+	// planned is the last re-plan's winner set (CuboidStats.Planned).
+	planned atomic.Pointer[map[lattice.Mask]bool]
+
+	// replanTick counts foreground queries toward the periodic re-plan;
+	// replanNeeded forces one at the next opportunity (policy switch,
+	// commit handoff without an executor); planning serializes passes.
+	replanTick   atomic.Int64
+	replanNeeded atomic.Bool
+	planning     atomic.Bool
+
+	// retired marks the server superseded by a commit: background work
+	// for it is dropped (the version stays queryable for pinned readers).
+	retired atomic.Bool
 
 	// testBeforeAdmit, when set, runs between a miss's aggregation and
 	// its cache admission — the window the generation guard protects.
@@ -102,11 +141,14 @@ type Server struct {
 	// deterministically with an in-flight computation.
 	testBeforeAdmit func()
 
-	queries   atomic.Int64
-	hits      atomic.Int64
-	coalesced atomic.Int64
-	leafAggs  atomic.Int64
-	ancAggs   atomic.Int64
+	queries    atomic.Int64
+	hits       atomic.Int64
+	coalesced  atomic.Int64
+	leafAggs   atomic.Int64
+	ancAggs    atomic.Int64
+	bgFills    atomic.Int64
+	bgAdmitted atomic.Int64
+	replans    atomic.Int64
 }
 
 // flight is one in-progress cuboid computation; duplicate queriers wait
@@ -117,9 +159,11 @@ type flight struct {
 	stats QueryStats
 }
 
-// NewServer builds a server over a leaf cuboid. cards gives the code
-// cardinality of each leaf column (used to size radix passes);
-// budgetBytes ≤ 0 selects DefaultBudgetBytes.
+// NewServer builds a server over a leaf cuboid with the default LRU
+// policy. cards gives the code cardinality of each leaf column (used to
+// size radix passes and the planner's size estimates); budgetBytes ≤ 0
+// selects DefaultBudgetBytes. Use SetPolicy to switch to the adaptive
+// policy.
 func NewServer(leaf *Cuboid, cards []int, budgetBytes int64) *Server {
 	if budgetBytes <= 0 {
 		budgetBytes = DefaultBudgetBytes
@@ -128,8 +172,11 @@ func NewServer(leaf *Cuboid, cards []int, budgetBytes int64) *Server {
 		leaf:     leaf,
 		cards:    append([]int(nil), cards...),
 		cache:    newCache(budgetBytes),
+		stats:    newStatsTable(),
 		inflight: make(map[lattice.Mask]*flight),
 	}
+	opt := PolicyOptions{Policy: PolicyLRU}.withDefaults()
+	s.opt.Store(&opt)
 	s.scratch.New = func() any { return relation.NewScratch() }
 	return s
 }
@@ -152,6 +199,48 @@ func (s *Server) Reset() { s.cache.reset() }
 // Invalidate drops one cached cuboid if resident.
 func (s *Server) Invalidate(q lattice.Mask) { s.cache.remove(q) }
 
+// SetPolicy installs the admission policy and optional background
+// executor (nil keeps fills and re-plans synchronous: a re-plan then runs
+// inline on the query that triggers it and materializes missing winners
+// before returning — the deterministic mode tests and the adaptive-vs-LRU
+// oracle use). Switching to the adaptive policy schedules an immediate
+// re-plan; switching back to LRU stops planning but keeps the resident
+// set. Safe to call while queries are in flight.
+func (s *Server) SetPolicy(o PolicyOptions, bg *Background) {
+	o = o.withDefaults()
+	s.opt.Store(&o)
+	s.bg.Store(bg)
+	s.cache.setPolicy(o.Policy == PolicyAdaptive, o.Seed)
+	if o.Policy == PolicyAdaptive {
+		s.replanNeeded.Store(true)
+	}
+}
+
+// Policy returns the active policy options.
+func (s *Server) Policy() PolicyOptions { return *s.opt.Load() }
+
+// Retire marks the server superseded by a newer version: queued and
+// future background work for it is dropped. Pinned readers keep querying
+// it; retirement only stops speculative cache work.
+func (s *Server) Retire() { s.retired.Store(true) }
+
+// Handoff carries the serving policy, background executor and workload
+// model to the successor server and retires this one — the commit path
+// calls it after warming the successor with the folded residents, so
+// demand observed on version v keeps steering version v+1's plan, and a
+// commit acts as a re-plan trigger (asynchronously when an executor is
+// attached, at the successor's next query otherwise).
+func (s *Server) Handoff(next *Server) {
+	next.stats.adopt(s.stats.snapshot())
+	opt := *s.opt.Load()
+	bg := s.bg.Load()
+	next.SetPolicy(opt, bg)
+	s.Retire()
+	if opt.Policy == PolicyAdaptive && bg != nil {
+		bg.submitReplan(next)
+	}
+}
+
 // Query returns the cuboid for group-by q (bit i = leaf column i) along
 // with how it was served. The returned cuboid is immutable and remains
 // valid after eviction.
@@ -171,6 +260,8 @@ func (s *Server) Query(q lattice.Mask) (*Cuboid, QueryStats, error) {
 		s.hits.Add(1)
 		stats.CacheHit = true
 		stats.ResultCells = cub.Rows()
+		s.stats.recordHit(q, cub.Rows(), cub.SizeBytes())
+		s.maybeReplan()
 		return cub, stats, nil
 	}
 
@@ -183,32 +274,37 @@ func (s *Server) Query(q lattice.Mask) (*Cuboid, QueryStats, error) {
 		s.coalesced.Add(1)
 		stats = f.stats
 		stats.Coalesced = true
+		// A coalesced query is demand evidence like any hit.
+		s.stats.recordHit(q, f.cub.Rows(), f.cub.SizeBytes())
+		s.maybeReplan()
 		return f.cub, stats, nil
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[q] = f
 	s.mu.Unlock()
 
-	cub, st := s.compute(q)
+	cub, st := s.compute(q, false, 0)
 	f.cub, f.stats = cub, st
 	s.mu.Lock()
 	delete(s.inflight, q)
 	s.mu.Unlock()
 	close(f.done)
+	s.maybeReplan()
 	return cub, st, nil
 }
 
-// compute aggregates q from the smallest resident ancestor and admits the
-// result into the cache.
-func (s *Server) compute(q lattice.Mask) (*Cuboid, QueryStats) {
-	stats := QueryStats{Query: q}
-
+// derive aggregates q from the smallest resident ancestor (leaf included)
+// without touching the cache's admission state. It returns the cuboid,
+// the ancestor it came from, and the cells scanned. gen is the cache
+// generation observed before any resident state was read — admissions
+// derived from this result must carry it.
+func (s *Server) derive(q lattice.Mask) (cub *Cuboid, from lattice.Mask, scanned int, gen uint64) {
 	// Capture the cache generation before reading any resident state: if
 	// a Reset or Invalidate lands while we aggregate, the admission below
 	// is rejected instead of resurrecting a cuboid the invalidation was
 	// meant to drop. The served answer itself stays valid — it was
 	// aggregated from the immutable leaf or an immutable ancestor copy.
-	gen := s.cache.generation()
+	gen = s.cache.generation()
 
 	// Candidate ancestors: every cached cuboid plus the pinned leaf.
 	resident := s.cache.residentMasks(make([]maskSize, 0, 16))
@@ -221,21 +317,16 @@ func (s *Server) compute(q lattice.Mask) (*Cuboid, QueryStats) {
 			masks = append(masks, ms.mask)
 		}
 	}
-	from, _ := lattice.SmallestAncestor(q, masks, func(m lattice.Mask) int { return rows[m] })
+	from, _ = lattice.SmallestAncestor(q, masks, func(m lattice.Mask) int { return rows[m] })
 
 	src := s.leaf
 	if from != s.leaf.Mask {
-		if cub, ok := s.cache.get(from); ok {
-			src = cub
+		if c, ok := s.cache.get(from); ok {
+			src = c
 		} else {
 			// Evicted between selection and fetch; fall back to the leaf.
 			from = s.leaf.Mask
 		}
-	}
-	if from == s.leaf.Mask {
-		s.leafAggs.Add(1)
-	} else {
-		s.ancAggs.Add(1)
 	}
 
 	// Column positions of q's attributes within src's rows, and their
@@ -254,18 +345,145 @@ func (s *Server) compute(q lattice.Mask) (*Cuboid, QueryStats) {
 	}
 
 	sc := s.scratch.Get().(*relation.Scratch)
-	cub := aggregateFrom(src, q, cols, cards, sc)
+	cub = aggregateFrom(src, q, cols, cards, sc)
 	s.scratch.Put(sc)
+	return cub, from, src.Rows(), gen
+}
+
+// compute aggregates q from the smallest resident ancestor and admits the
+// result into the cache. Background fills (the adaptive planner's
+// materializations) record into the stats table as fills — not demand —
+// and admit with the planner's score instead of the admission score.
+func (s *Server) compute(q lattice.Mask, background bool, planScore float64) (*Cuboid, QueryStats) {
+	stats := QueryStats{Query: q}
+	cub, from, scanned, gen := s.derive(q)
+	rows, size := cub.Rows(), cub.SizeBytes()
+
+	score := planScore
+	if background {
+		s.bgFills.Add(1)
+		s.stats.recordFill(q, rows, size, scanned)
+	} else {
+		if from == s.leaf.Mask {
+			s.leafAggs.Add(1)
+		} else {
+			s.ancAggs.Add(1)
+		}
+		s.stats.recordMiss(q, rows, size, scanned)
+		score = admissionScore(s.stats.demand(q), scanned, rows, size)
+	}
 
 	if s.testBeforeAdmit != nil {
 		s.testBeforeAdmit()
 	}
 
 	stats.ServedFrom = from
-	stats.CellsScanned = src.Rows()
-	stats.ResultCells = cub.Rows()
-	stats.Admitted, stats.Evicted = s.cache.add(q, cub, gen)
+	stats.CellsScanned = scanned
+	stats.ResultCells = rows
+	stats.Admitted, stats.Evicted = s.cache.add(q, cub, gen, score)
+	if background && stats.Admitted {
+		s.bgAdmitted.Add(1)
+	}
 	return cub, stats
+}
+
+// fill is one background materialization: compute q and admit it with the
+// planner's score, through the same singleflight and generation machinery
+// as a foreground miss, so a fill can never race an invalidation or a
+// committing writer into an inconsistent resident set. Foreground queries
+// arriving while the fill is in flight coalesce onto it. A fill for a
+// mask that is already resident, already being computed, or belongs to a
+// retired server is skipped.
+func (s *Server) fill(q lattice.Mask, score float64) {
+	if s.retired.Load() || q == s.leaf.Mask || !q.SubsetOf(s.leaf.Mask) {
+		return
+	}
+	if s.cache.peek(q) {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.inflight[q]; ok {
+		s.mu.Unlock()
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[q] = f
+	s.mu.Unlock()
+
+	cub, st := s.compute(q, true, score)
+	f.cub, f.stats = cub, st
+	s.mu.Lock()
+	delete(s.inflight, q)
+	s.mu.Unlock()
+	close(f.done)
+}
+
+// maybeReplan advances the periodic re-plan counter on a foreground query
+// and triggers a pass when due (or when one was forced by a policy switch
+// or commit handoff).
+func (s *Server) maybeReplan() {
+	opt := s.opt.Load()
+	if opt.Policy != PolicyAdaptive || s.retired.Load() {
+		return
+	}
+	tick := s.replanTick.Add(1)
+	if s.replanNeeded.CompareAndSwap(true, false) || tick%int64(opt.ReplanEvery) == 0 {
+		if bg := s.bg.Load(); bg != nil {
+			bg.submitReplan(s)
+		} else {
+			s.Replan()
+		}
+	}
+}
+
+// Replan runs one adaptive planning pass now: snapshot the stats table,
+// run the greedy benefit-per-byte selection, install the retained-benefit
+// scores on the cache, and materialize winners that are not resident —
+// via the background executor when one is attached, synchronously
+// otherwise. A no-op under LRU; concurrent calls collapse to one pass.
+// The pass is deterministic given the stats snapshot and the seed.
+func (s *Server) Replan() {
+	opt := s.opt.Load()
+	if opt.Policy != PolicyAdaptive {
+		return
+	}
+	if !s.planning.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.planning.Store(false)
+	s.replans.Add(1)
+
+	res := planAdaptive(planInput{
+		stats:    s.stats.snapshot(),
+		leafMask: s.leaf.Mask,
+		leafRows: s.leaf.Rows(),
+		cards:    s.cards,
+		budget:   s.Budget(),
+		seed:     opt.Seed,
+	})
+	s.cache.setScores(res.scores)
+	planned := make(map[lattice.Mask]bool, len(res.winners))
+	for _, w := range res.winners {
+		planned[w] = true
+	}
+	s.planned.Store(&planned)
+
+	var missing []fillReq
+	for _, w := range res.winners {
+		if !s.cache.peek(w) {
+			missing = append(missing, fillReq{mask: w, score: res.scores[w]})
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if bg := s.bg.Load(); bg != nil {
+		bg.submitFills(s, missing)
+		return
+	}
+	for _, f := range missing {
+		s.fill(f.mask, f.score)
+	}
 }
 
 // Resident returns the cached (non-leaf) cuboids in recency order, most
@@ -278,37 +496,92 @@ func (s *Server) Resident() []*Cuboid { return s.cache.resident() }
 // reverse so the resulting LRU order matches. The snapshot-commit path
 // seeds a new version's server with the previous version's folded
 // residents so that commit does not cool the cache; admissions respect
-// the byte budget like any other.
+// the byte budget like any other. Under the adaptive policy the carried
+// residents are pinned above any admission score until the first re-plan
+// rescores them (the commit handoff schedules that re-plan).
 func (s *Server) Warm(cubs []*Cuboid) {
 	for i := len(cubs) - 1; i >= 0; i-- {
 		cub := cubs[i]
 		if cub.Mask == s.leaf.Mask {
 			continue
 		}
-		s.cache.add(cub.Mask, cub, s.cache.generation())
+		s.cache.add(cub.Mask, cub, s.cache.generation(), infScore)
 	}
 }
 
-// Precompute computes and admits the cuboids of the given masks (least
-// important last, like Warm's input order) by running them through the
-// ordinary query path, and returns how many ended up resident. Crash
-// recovery uses it to rebuild the warm set recorded in the last commit
-// marker: unlike Warm it derives each cuboid from the current leaf, so
-// it needs only the masks. Queries issued here count toward Stats like
-// any client query; admission respects the byte budget, so a mask whose
-// cuboid no longer fits is simply skipped.
-func (s *Server) Precompute(masks []lattice.Mask) int {
-	n := 0
-	for i := len(masks) - 1; i >= 0; i-- {
-		q := masks[i]
-		if q == s.leaf.Mask {
+// Precompute computes the cuboids of the given masks and admits them in
+// benefit order — cells saved per query (leaf rows minus cuboid rows)
+// normalized by footprint, descending, ties broken by ascending mask —
+// until the byte budget is spent, and reports the masks whose cuboids
+// were computed but not retained. Admission is therefore deterministic in
+// the mask *set*, not the caller's order. Crash recovery uses it to
+// rebuild the warm set recorded in the last commit marker. The
+// computations record into the stats table as background fills, not
+// demand; duplicate masks and the leaf are ignored.
+func (s *Server) Precompute(masks []lattice.Mask) (admitted int, skipped []lattice.Mask) {
+	type pre struct {
+		mask    lattice.Mask
+		cub     *Cuboid
+		gen     uint64
+		scanned int
+		score   float64
+	}
+	seen := make(map[lattice.Mask]bool, len(masks))
+	var todo []pre
+	for _, q := range masks {
+		if q == s.leaf.Mask || seen[q] || !q.SubsetOf(s.leaf.Mask) {
 			continue
 		}
-		if _, st, err := s.Query(q); err == nil && (st.Admitted || st.CacheHit) {
-			n++
+		seen[q] = true
+		if s.cache.peek(q) {
+			admitted++
+			continue
+		}
+		cub, _, scanned, gen := s.derive(q)
+		s.bgFills.Add(1)
+		s.stats.recordFill(q, cub.Rows(), cub.SizeBytes(), scanned)
+		todo = append(todo, pre{
+			mask:    q,
+			cub:     cub,
+			gen:     gen,
+			scanned: scanned,
+			score:   admissionScore(1, s.leaf.Rows(), cub.Rows(), cub.SizeBytes()),
+		})
+	}
+	sort.Slice(todo, func(a, b int) bool {
+		if todo[a].score != todo[b].score {
+			return todo[a].score > todo[b].score
+		}
+		return todo[a].mask < todo[b].mask
+	})
+	for _, p := range todo {
+		ok, _ := s.cache.add(p.mask, p.cub, p.gen, p.score)
+		if ok {
+			admitted++
+			s.bgAdmitted.Add(1)
+		} else {
+			skipped = append(skipped, p.mask)
 		}
 	}
-	return n
+	return admitted, skipped
+}
+
+// CuboidStats returns the per-cuboid stats table — every group-by shape
+// the server has seen or filled, sorted by mask, annotated with current
+// residency and the last plan's winner set. The CLI dumps these
+// (icecube -stats); the adaptive planner consumes the same snapshot.
+func (s *Server) CuboidStats() []CuboidStats {
+	rows := s.stats.snapshot()
+	resident := s.cache.residentSet()
+	var planned map[lattice.Mask]bool
+	if p := s.planned.Load(); p != nil {
+		planned = *p
+	}
+	for i := range rows {
+		rows[i].Resident = resident[rows[i].Mask]
+		rows[i].Planned = planned[rows[i].Mask]
+	}
+	return rows
 }
 
 // Budget returns the configured cache byte budget.
@@ -338,6 +611,10 @@ func (s *Server) Stats() Metrics {
 	m.LeafAggregations = s.leafAggs.Load()
 	m.AncestorAggregations = s.ancAggs.Load()
 	m.Computes = m.LeafAggregations + m.AncestorAggregations
+	m.BackgroundFills = s.bgFills.Load()
+	m.BackgroundAdmitted = s.bgAdmitted.Load()
+	m.Replans = s.replans.Load()
 	m.LeafBytes = s.leaf.SizeBytes()
+	m.Policy = s.opt.Load().Policy.String()
 	return m
 }

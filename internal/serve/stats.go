@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"icebergcube/internal/lattice"
+)
+
+// CuboidStats is one group-by shape's observed traffic and measured cost —
+// one row of the server's per-cuboid stats table. The adaptive admission
+// planner consumes a snapshot of these; Server.CuboidStats exposes them
+// for CLI inspection (icecube -stats).
+type CuboidStats struct {
+	// Mask identifies the cuboid.
+	Mask lattice.Mask
+	// Hits counts foreground queries answered while the cuboid was
+	// resident (coalesced queries included — they are demand evidence).
+	Hits int64
+	// Misses counts foreground queries that had to aggregate the cuboid.
+	Misses int64
+	// BackgroundFills counts times the background materializer computed
+	// this cuboid on the planner's behalf.
+	BackgroundFills int64
+	// Rows and Bytes are the cuboid's measured cell count and footprint,
+	// zero until it has been computed at least once.
+	Rows  int
+	Bytes int64
+	// DeriveCells is the ancestor cell count scanned the last time the
+	// cuboid was derived — the measured re-derive cost the planner weighs
+	// against Bytes.
+	DeriveCells int
+	// Resident and Planned report the cuboid's current cache residency and
+	// whether the last re-plan selected it as a benefit-per-byte winner.
+	Resident bool
+	Planned  bool
+}
+
+// Queries is the total observed demand (hits + misses).
+func (s CuboidStats) Queries() int64 { return s.Hits + s.Misses }
+
+// cubStat is the mutable table entry behind CuboidStats.
+type cubStat struct {
+	hits, misses int64
+	bgFills      int64
+	rows         int
+	bytes        int64
+	deriveCells  int
+}
+
+// statsTable accumulates per-cuboid traffic and measured costs. It is the
+// workload model the adaptive policy plans from; the commit path clones it
+// into the next version's server so the plan survives snapshots.
+type statsTable struct {
+	mu     sync.Mutex
+	byMask map[lattice.Mask]*cubStat
+}
+
+func newStatsTable() *statsTable {
+	return &statsTable{byMask: make(map[lattice.Mask]*cubStat)}
+}
+
+func (t *statsTable) entry(m lattice.Mask) *cubStat {
+	e, ok := t.byMask[m]
+	if !ok {
+		e = &cubStat{}
+		t.byMask[m] = e
+	}
+	return e
+}
+
+// recordHit notes a foreground query served from a resident copy.
+func (t *statsTable) recordHit(m lattice.Mask, rows int, bytes int64) {
+	t.mu.Lock()
+	e := t.entry(m)
+	e.hits++
+	e.rows, e.bytes = rows, bytes
+	t.mu.Unlock()
+}
+
+// recordMiss notes a foreground query that derived the cuboid, with the
+// measured derive cost (ancestor cells scanned).
+func (t *statsTable) recordMiss(m lattice.Mask, rows int, bytes int64, scanned int) {
+	t.mu.Lock()
+	e := t.entry(m)
+	e.misses++
+	e.rows, e.bytes = rows, bytes
+	e.deriveCells = scanned
+	t.mu.Unlock()
+}
+
+// recordFill notes a background materialization (not demand — fills must
+// not inflate the popularity the planner reads, or winners would
+// self-reinforce).
+func (t *statsTable) recordFill(m lattice.Mask, rows int, bytes int64, scanned int) {
+	t.mu.Lock()
+	e := t.entry(m)
+	e.bgFills++
+	e.rows, e.bytes = rows, bytes
+	e.deriveCells = scanned
+	t.mu.Unlock()
+}
+
+// demand returns a shape's observed foreground demand (hits + misses).
+func (t *statsTable) demand(m lattice.Mask) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.byMask[m]; ok {
+		return e.hits + e.misses
+	}
+	return 0
+}
+
+// snapshot returns the table's rows sorted by mask — the deterministic
+// planner input.
+func (t *statsTable) snapshot() []CuboidStats {
+	t.mu.Lock()
+	out := make([]CuboidStats, 0, len(t.byMask))
+	for m, e := range t.byMask {
+		out = append(out, CuboidStats{
+			Mask:            m,
+			Hits:            e.hits,
+			Misses:          e.misses,
+			BackgroundFills: e.bgFills,
+			Rows:            e.rows,
+			Bytes:           e.bytes,
+			DeriveCells:     e.deriveCells,
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Mask < out[b].Mask })
+	return out
+}
+
+// adopt merges a predecessor server's snapshot into this table (the
+// commit handoff: traffic observed on version v seeds version v+1's
+// plan). Counters add; measured sizes from the predecessor win only when
+// this table has none yet.
+func (t *statsTable) adopt(rows []CuboidStats) {
+	t.mu.Lock()
+	for _, r := range rows {
+		e := t.entry(r.Mask)
+		e.hits += r.Hits
+		e.misses += r.Misses
+		e.bgFills += r.BackgroundFills
+		if e.rows == 0 && e.bytes == 0 {
+			e.rows, e.bytes, e.deriveCells = r.Rows, r.Bytes, r.DeriveCells
+		}
+	}
+	t.mu.Unlock()
+}

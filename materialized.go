@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"icebergcube/internal/agg"
+	"icebergcube/internal/cluster"
 	"icebergcube/internal/core"
 	"icebergcube/internal/exp"
 	"icebergcube/internal/ingest"
@@ -48,6 +49,13 @@ type Materialized struct {
 	// immutable and read without locking.
 	extMu sync.RWMutex
 	ext   []extDim
+
+	// bgExec and bgPool back the adaptive policy's background
+	// materializer when SetCachePolicy asked for one; both are released
+	// by Close. Guarded by polMu.
+	polMu  sync.Mutex
+	bgExec *serve.Background
+	bgPool *cluster.Pool
 
 	// PrecomputeSeconds is the simulated parallel precomputation time.
 	PrecomputeSeconds float64
@@ -148,6 +156,149 @@ type CacheMetrics struct {
 	ResidentBytes   int64
 	ResidentCuboids int
 	BudgetBytes     int64
+	// BackgroundFills and BackgroundAdmitted count cuboids the adaptive
+	// policy materialized off the query path and how many the cache
+	// retained; Replans counts its planning passes. All zero under LRU.
+	BackgroundFills    int64
+	BackgroundAdmitted int64
+	Replans            int64
+	// Policy names the current snapshot's admission policy ("lru" or
+	// "adaptive").
+	Policy string
+}
+
+// CachePolicy selects the serving cache's admission policy.
+type CachePolicy string
+
+const (
+	// CacheLRU is the default recency policy: admit every computed
+	// cuboid, evict least-recently-used.
+	CacheLRU CachePolicy = "lru"
+	// CacheAdaptive is the workload-adaptive policy: per-cuboid demand
+	// stats drive a periodic greedy benefit-per-byte plan, planned
+	// cuboids are materialized in the background, and eviction removes
+	// the lowest retained benefit per byte.
+	CacheAdaptive CachePolicy = "adaptive"
+)
+
+// CachePolicyConfig configures SetCachePolicy.
+type CachePolicyConfig struct {
+	// Policy selects LRU or adaptive admission (empty = LRU).
+	Policy CachePolicy
+	// Seed drives the adaptive planner's deterministic tie-breaks
+	// (0 = 1). Two caches configured with the same seed and fed the same
+	// query sequence make identical decisions.
+	Seed int64
+	// ReplanEvery re-plans after this many queries (≤ 0 = the serving
+	// default, 64). Commits always trigger a re-plan regardless.
+	ReplanEvery int
+	// BackgroundCores > 0 attaches a background materializer fanning
+	// fills across that many cores, so planned cuboids are computed off
+	// the query path. 0 keeps re-plans and fills synchronous: they run
+	// inline on the query that triggers them — fully deterministic, the
+	// mode the adaptive-vs-LRU oracle and experiments use.
+	BackgroundCores int
+}
+
+// SetCachePolicy switches the serving cache's admission policy for the
+// current and, via commit handoff, all future snapshots. Answers are
+// byte-identical under either policy — the policy only decides which
+// cuboids stay resident, i.e. how fast queries are served. Switching
+// releases any previous background machinery.
+func (m *Materialized) SetCachePolicy(cfg CachePolicyConfig) error {
+	var p serve.Policy
+	switch cfg.Policy {
+	case CacheLRU, "":
+		p = serve.PolicyLRU
+	case CacheAdaptive:
+		p = serve.PolicyAdaptive
+	default:
+		return fmt.Errorf("icebergcube: unknown cache policy %q", cfg.Policy)
+	}
+	m.polMu.Lock()
+	defer m.polMu.Unlock()
+	m.releaseBackgroundLocked()
+	var bg *serve.Background
+	if p == serve.PolicyAdaptive && cfg.BackgroundCores > 0 {
+		m.bgPool = cluster.NewPool(cfg.BackgroundCores)
+		m.bgExec = serve.NewBackground(m.bgPool)
+		bg = m.bgExec
+	}
+	m.cube.SetServePolicy(serve.PolicyOptions{
+		Policy:      p,
+		Seed:        cfg.Seed,
+		ReplanEvery: cfg.ReplanEvery,
+	}, bg)
+	return nil
+}
+
+// WaitBackground blocks until the adaptive policy's background queue is
+// drained (a no-op under LRU or synchronous adaptive mode). Tests and the
+// CLI stats dump use it to observe a quiescent cache.
+func (m *Materialized) WaitBackground() {
+	m.polMu.Lock()
+	bg := m.bgExec
+	m.polMu.Unlock()
+	if bg != nil {
+		bg.Wait()
+	}
+}
+
+// releaseBackgroundLocked stops the background executor and its pool.
+// Caller holds polMu.
+func (m *Materialized) releaseBackgroundLocked() {
+	if m.bgExec != nil {
+		m.bgExec.Close()
+		m.bgExec = nil
+	}
+	if m.bgPool != nil {
+		m.bgPool.Close()
+		m.bgPool = nil
+	}
+}
+
+// CuboidStat is one group-by shape's serving history: observed traffic,
+// measured size and derive cost, and its standing with the adaptive
+// planner. Shapes are reported for the current snapshot's server (the
+// stats table is carried across commits).
+type CuboidStat struct {
+	// Attrs names the shape's group-by attributes (empty = the ALL
+	// cuboid).
+	Attrs []string
+	// Hits, Misses and BackgroundFills count queries served while
+	// resident, queries that had to aggregate, and background
+	// materializations.
+	Hits, Misses, BackgroundFills int64
+	// Cells and Bytes are the cuboid's measured size (zero until first
+	// computed); DeriveCells the ancestor cells scanned at its last
+	// derivation.
+	Cells       int
+	Bytes       int64
+	DeriveCells int
+	// Resident reports current cache residency; Planned whether the last
+	// adaptive re-plan selected the shape as a benefit-per-byte winner.
+	Resident, Planned bool
+}
+
+// CuboidStats returns the current snapshot's per-cuboid serving stats,
+// sorted by lattice mask. The CLI's -stats flag dumps these.
+func (m *Materialized) CuboidStats() []CuboidStat {
+	rows := m.cube.Current().Srv.CuboidStats()
+	out := make([]CuboidStat, len(rows))
+	for i, r := range rows {
+		out[i] = CuboidStat{
+			Attrs:           m.maskAttrs(r.Mask),
+			Hits:            r.Hits,
+			Misses:          r.Misses,
+			BackgroundFills: r.BackgroundFills,
+			Cells:           r.Rows,
+			Bytes:           r.Bytes,
+			DeriveCells:     r.DeriveCells,
+			Resident:        r.Resident,
+			Planned:         r.Planned,
+		}
+	}
+	return out
 }
 
 // Materialize precomputes the finest cuboid over dims (nil = all data-set
@@ -240,11 +391,15 @@ func (m *Materialized) CacheMetrics() CacheMetrics {
 		out.LeafAggregations += s.LeafAggregations
 		out.AncestorAggregations += s.AncestorAggregations
 		out.Evictions += s.Evictions
+		out.BackgroundFills += s.BackgroundFills
+		out.BackgroundAdmitted += s.BackgroundAdmitted
+		out.Replans += s.Replans
 	}
 	cur := views[len(views)-1].Srv.Stats()
 	out.ResidentBytes = cur.ResidentBytes
 	out.ResidentCuboids = cur.ResidentCuboids
 	out.BudgetBytes = cur.BudgetBytes
+	out.Policy = cur.Policy
 	return out
 }
 
