@@ -6,8 +6,10 @@ FUZZ_TARGETS := FuzzDifferential FuzzMetamorphic FuzzHashTree FuzzEncodeRoundTri
 FUZZ_TARGETS_ROOT := FuzzIncrementalMaintenance
 # WAL fuzz targets (seed corpus under internal/wal/testdata/fuzz/).
 FUZZ_TARGETS_WAL := FuzzWALReplay
+# Segment fuzz targets (seed corpus under internal/segment/testdata/fuzz/).
+FUZZ_TARGETS_SEGMENT := FuzzSegmentReader
 
-.PHONY: build vet test short race chaos fuzz corpus serve-smoke ingest-smoke wal-smoke adaptive-smoke bench-smoke
+.PHONY: build vet test short race chaos fuzz corpus serve-smoke ingest-smoke wal-smoke adaptive-smoke segment-smoke bench-smoke
 
 # The chaos suite: fault injection, failure detection and recovery tests
 # across the transport, scheduler, distributed-cube and POL layers. Every
@@ -53,12 +55,18 @@ fuzz:
 		echo "== $$t =="; \
 		go test ./internal/wal -run '^$$' -fuzz "^$$t\$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+	@for t in $(FUZZ_TARGETS_SEGMENT); do \
+		echo "== $$t =="; \
+		go test ./internal/segment -run '^$$' -fuzz "^$$t\$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
 
 # Regenerate the checked-in seed corpora: the oracle corpus from
-# internal/oracle/seeds.go, the WAL replay corpus from fuzzSeedLogs.
+# internal/oracle/seeds.go, the WAL replay corpus from fuzzSeedLogs, the
+# segment reader corpus from fuzzSeedScripts.
 corpus:
 	go run ./internal/oracle/gencorpus
 	WAL_GENCORPUS=1 go test ./internal/wal -run TestGenWALCorpus -count=1
+	SEGMENT_GENCORPUS=1 go test ./internal/segment -run TestGenSegmentCorpus -count=1
 
 # The serving layer's correctness surface under -race: the internal/serve
 # unit suite (cache invariants, singleflight, ancestor selection), the
@@ -105,6 +113,21 @@ adaptive-smoke:
 	go test -race -timeout 10m -count=1 -run 'TestAdaptive' .
 	go test -timeout 10m -count=1 -run 'TestAdaptive_' ./internal/exp
 
+# The columnar cold-tier correctness surface under -race: the
+# internal/segment unit suite (bit-packing, zone-map pruning, checksummed
+# framing, bit-flip/truncation detection), the out-of-core spill kernel's
+# differential and budget-bound tests, the root-package segment oracle
+# (flush→load→Answer byte-identical round trip including dictionary
+# extensions, cold-tier answers cell-for-cell equal to the warm server
+# with measured-I/O assertions, out-of-core BUC/BPP equal to in-memory
+# Compute across budgets forcing multi-level spill), and the segment
+# experiment's live cold/warm equality and budget checks.
+segment-smoke:
+	go test -race -timeout 10m -count=1 ./internal/segment
+	go test -race -timeout 10m -count=1 -run 'TestSpill' ./internal/core
+	go test -race -timeout 10m -count=1 -run 'SegmentRoundTrip|ColdAnswerMatchesWarm|ComputeOutOfCore' .
+	go test -race -timeout 10m -count=1 -run 'TestSegment_' ./internal/exp
+
 # One pass over the paper-figure benchmarks, snapshotted to BENCH_<date>.json
 # and gated against bench/baseline.json. Only allocs/op regressions fail —
 # the sort/partition kernels are zero-allocation in steady state, so the
@@ -112,5 +135,5 @@ adaptive-smoke:
 # -strict makes a benchmark that is absent from the baseline a failure, so
 # every new benchmark must be frozen into bench/baseline.json in its own PR.
 bench-smoke:
-	go test -run xxx -bench 'BenchmarkFig|BenchmarkSec5_1|BenchmarkServe|BenchmarkAdaptive|BenchmarkCommit|BenchmarkIngest|BenchmarkWAL|BenchmarkRecover' -benchmem -benchtime 1x -timeout 30m . | \
+	go test -run xxx -bench 'BenchmarkFig|BenchmarkSec5_1|BenchmarkServe|BenchmarkAdaptive|BenchmarkCommit|BenchmarkIngest|BenchmarkWAL|BenchmarkRecover|BenchmarkSegment|BenchmarkSpill' -benchmem -benchtime 1x -timeout 30m . | \
 		go run ./cmd/benchguard -strict -out BENCH_$$(date +%F).json -baseline bench/baseline.json

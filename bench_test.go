@@ -631,3 +631,96 @@ func BenchmarkRecover(b *testing.B) {
 		rm.Close()
 	}
 }
+
+// BenchmarkSegmentScan measures the cold tier's streamed aggregation over
+// a flushed segment table: a full-width cold scan (every column decoded),
+// a narrow 1-column projection (columnar pushdown reads a fraction of the
+// bytes), and the resident-cuboid hit path for scale. The backing FS is
+// in-memory, so this isolates framing + bit-unpack + fold cost.
+func BenchmarkSegmentScan(b *testing.B) {
+	ds := SyntheticWeather(benchTuples, 2001)
+	dims := ds.PickDimsByCardinalityProduct(6, 9)
+	mat, err := Materialize(ds, dims, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fsys := wal.NewMemFS()
+	if err := mat.FlushSegmentsFS(fsys, "cube"); err != nil {
+		b.Fatal(err)
+	}
+	cold, err := OpenColdFS(fsys, "cube", 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scan := func(b *testing.B, groupBy []string) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			cold.ResetCache()
+			cells, st, err := cold.AnswerStats(groupBy, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !st.ColdScan || len(cells) == 0 {
+				b.Fatalf("expected a cold scan with cells: %+v", st)
+			}
+		}
+	}
+	b.Run("FullWidth", func(b *testing.B) { scan(b, dims) })
+	b.Run("Narrow", func(b *testing.B) { scan(b, dims[:1]) })
+	b.Run("CacheHit", func(b *testing.B) {
+		cold.ResetCache()
+		if _, err := cold.Answer(dims[:2], 2); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, st, err := cold.AnswerStats(dims[:2], 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !st.CacheHit {
+				b.Fatalf("expected a cache hit: %+v", st)
+			}
+		}
+	})
+}
+
+// BenchmarkSpillBUC measures the out-of-core iceberg cube over a flushed
+// segment table: InCore gives the streaming kernel an effectively
+// unbounded budget (the whole table loads once), Spill squeezes it under
+// a budget smaller than the table so heavy values recurse through
+// scratch sub-tables. Peak resident bytes are asserted under the budget
+// every iteration.
+func BenchmarkSpillBUC(b *testing.B) {
+	ds := SyntheticWeather(benchTuples, 2001)
+	dims := ds.PickDimsByCardinalityProduct(4, 6)
+	mat, err := Materialize(ds, dims, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fsys := wal.NewMemFS()
+	if err := mat.FlushSegmentsFS(fsys, "cube"); err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, budget int64) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, st, err := ComputeOutOfCoreFS(fsys, "cube", Query{MinSupport: 2}, budget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.CellsWritten == 0 {
+				b.Fatal("empty cube")
+			}
+			if st.PeakBytes > budget {
+				b.Fatalf("peak %d exceeded budget %d", st.PeakBytes, budget)
+			}
+		}
+	}
+	b.Run("InCore", func(b *testing.B) { run(b, 1<<30) })
+	b.Run("Spill", func(b *testing.B) { run(b, 128<<10) })
+}
+
+// BenchmarkSegmentExperiment replays the columnar cold-tier experiment
+// (regime sweep + out-of-core check), as cubebench -exp segment runs it.
+func BenchmarkSegmentExperiment(b *testing.B) { runExpBench(b, "segment") }

@@ -15,6 +15,18 @@
 // committed snapshot), and -cuboid queries are answered from the serving
 // cache.
 //
+// With -segdir the columnar segment tier is used instead:
+//
+//	icecube -input sales.csv -segdir /var/lib/icecube/cube            # flush
+//	icecube -segdir /var/lib/icecube/cube -cuboid Model -stats       # serve cold
+//	icecube -segdir /var/lib/icecube/cube -memlimit 1048576 -algo BPP # out-of-core
+//
+// A fresh directory plus input data flushes the cube as dictionary-encoded
+// segments. An existing table serves queries cold (cache → resident
+// ancestor → columnar scan of just the queried dimensions), or, with
+// -memlimit, recomputes the cube out-of-core under that resident-byte
+// budget, spilling heavy partitions back to disk.
+//
 // The CSV needs a header; every column but the last is a dimension, the
 // last column is the numeric measure. With -synthetic N the paper's
 // weather-like workload is generated instead (20 dimensions, N tuples).
@@ -45,8 +57,21 @@ func main() {
 		stats     = flag.Bool("stats", false, "print per-worker simulated loads; with -waldir, dump cache metrics and the per-cuboid stats table after the serve run")
 		waldir    = flag.String("waldir", "", "serve durably: write-ahead log directory (created, or recovered from if it already holds a log)")
 		policy    = flag.String("policy", "lru", "serving-cache admission policy with -waldir: lru or adaptive")
+		segdir    = flag.String("segdir", "", "columnar segment directory: flush the cube there (with -input/-synthetic), or serve/compute from an existing table")
+		memlimit  = flag.Int64("memlimit", 0, "with -segdir: compute the cube out-of-core under this resident-byte budget instead of serving")
 	)
 	flag.Parse()
+
+	if *segdir != "" && hasManifest(*segdir) {
+		// An existing table needs no input data: either compute the cube
+		// out-of-core under the byte budget, or serve queries cold.
+		if *memlimit > 0 {
+			computeOutOfCore(*segdir, *algo, *minsup, *memlimit, *cuboid, *limit, *stats)
+		} else {
+			serveCold(*segdir, *minsup, *cuboid, *limit, *stats)
+		}
+		return
+	}
 
 	ds, err := load(*input, *synthetic, *seed)
 	if err != nil {
@@ -60,6 +85,11 @@ func main() {
 		// The full 20-dimension cube is enormous; default to the paper's
 		// 9-dimension baseline subset.
 		dimList = ds.PickDimsByCardinalityProduct(9, 13)
+	}
+
+	if *segdir != "" {
+		flushSegments(ds, dimList, *segdir, *workers, *minsup, *cuboid, *limit)
+		return
 	}
 
 	if *waldir != "" {
@@ -180,6 +210,108 @@ func dumpServeStats(m *icebergcube.Materialized) {
 		}
 		fmt.Printf("  cuboid (%s): %d hits, %d misses, %d bg fills, %d cells, %d bytes, derive scans %d%s\n",
 			attrs, cs.Hits, cs.Misses, cs.BackgroundFills, cs.Cells, cs.Bytes, cs.DeriveCells, flags)
+	}
+}
+
+// hasManifest reports whether dir already holds a segment table.
+func hasManifest(dir string) bool {
+	_, err := os.Stat(dir + string(os.PathSeparator) + "MANIFEST")
+	return err == nil
+}
+
+// flushSegments materializes the cube and flushes it to a fresh segment
+// directory, answering an optional query from the warm leaf on the way.
+func flushSegments(ds *icebergcube.Dataset, dimList []string, dir string, workers int, minsup int64, cuboid string, limit int) {
+	m, err := icebergcube.Materialize(ds, dimList, workers)
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.FlushSegments(dir); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("flushed %d rows (%d leaf cells) to %s\n", ds.Len(), m.NumCells(), dir)
+	if cuboid != "" {
+		attrs := strings.Split(cuboid, ",")
+		cells, err := m.Answer(attrs, minsup)
+		if err != nil {
+			fatal(err)
+		}
+		printCells(cuboid, cells, limit)
+	}
+}
+
+// serveCold answers queries over an existing segment table without
+// loading the leaf: cache → resident ancestor → cold columnar scan.
+func serveCold(dir string, minsup int64, cuboid string, limit int, stats bool) {
+	cold, err := icebergcube.OpenCold(dir, 0)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cold table %s: %d rows, dims %s\n", dir, cold.Rows(), strings.Join(cold.Attrs(), ","))
+	if cuboid != "" {
+		attrs := strings.Split(cuboid, ",")
+		cells, st, err := cold.AnswerStats(attrs, minsup)
+		if err != nil {
+			fatal(err)
+		}
+		printCells(cuboid, cells, limit)
+		switch {
+		case st.ColdScan:
+			fmt.Printf("served by cold scan: %d rows streamed\n", st.RowsScanned)
+		case st.CacheHit:
+			fmt.Println("served from cache")
+		default:
+			fmt.Printf("served from resident ancestor (%s): %d cells aggregated\n",
+				strings.Join(st.ServedFrom, ","), st.CellsScanned)
+		}
+	}
+	if stats {
+		cm := cold.Metrics()
+		fmt.Printf("cold cache: %d queries, %d hits, %d ancestor aggs, %d cold scans, %d/%d budget bytes in %d cuboids\n",
+			cm.Queries, cm.CacheHits, cm.AncestorAggregations, cm.ColdScans,
+			cm.ResidentBytes, cm.BudgetBytes, cm.ResidentCuboids)
+		fmt.Printf("cold io: %d blocks read, %d skipped by zone maps, %d read calls, %.1f KB, %.3fs\n",
+			cm.IO.BlocksScanned, cm.IO.BlocksSkipped, cm.IO.ReadCalls, float64(cm.IO.BytesRead)/1024, cm.IO.ReadSeconds)
+	}
+}
+
+// computeOutOfCore runs the budgeted cube computation over an existing
+// segment table.
+func computeOutOfCore(dir, algo string, minsup, memlimit int64, cuboid string, limit int, stats bool) {
+	res, st, err := icebergcube.ComputeOutOfCore(dir, icebergcube.Query{
+		Algorithm:  icebergcube.Algorithm(algo),
+		MinSupport: minsup,
+	}, memlimit)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s out-of-core: %d cells in %d cuboids under a %d-byte budget (peak %d)\n",
+		res.Algorithm, res.NumCells(), res.NumCuboids(), memlimit, st.PeakBytes)
+	if stats {
+		fmt.Printf("spill: %d partitions loaded, %d heavy values spilled (depth %d, %.1f KB), %d values pruned\n",
+			st.LoadedPartitions, st.SpilledValues, st.MaxSpillDepth, float64(st.BytesSpilled)/1024, st.PrunedValues)
+		fmt.Printf("io: %d blocks read, %d skipped by zone maps, %d read calls, %.1f KB, %.3fs\n",
+			st.IO.BlocksScanned, st.IO.BlocksSkipped, st.IO.ReadCalls, float64(st.IO.BytesRead)/1024, st.IO.ReadSeconds)
+	}
+	if cuboid != "" {
+		attrs := strings.Split(cuboid, ",")
+		cells, err := res.Cuboid(attrs...)
+		if err != nil {
+			fatal(err)
+		}
+		printCells(cuboid, cells, limit)
+	}
+}
+
+// printCells prints up to limit cells of one cuboid.
+func printCells(cuboid string, cells []icebergcube.Cell, limit int) {
+	fmt.Printf("cuboid (%s): %d cells\n", cuboid, len(cells))
+	for i, c := range cells {
+		if i >= limit {
+			fmt.Printf("  ... %d more\n", len(cells)-limit)
+			break
+		}
+		fmt.Printf("  %s\n", c)
 	}
 }
 

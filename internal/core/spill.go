@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"path"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/disk"
+	"icebergcube/internal/lattice"
+	"icebergcube/internal/relation"
+	"icebergcube/internal/segment"
+	"icebergcube/internal/wal"
+)
+
+// SpillConfig drives one out-of-core cube computation over a persisted
+// segment table. The recursion mirrors BUC's processing tree, but a node
+// only loads rows into memory when its working set fits the byte budget;
+// otherwise it builds a streamed histogram of the node's partitioning
+// dimension, prunes whole values below the iceberg threshold without ever
+// loading them (their row count — the max possible COUNT — is already
+// below minsup), loads greedy runs of light values, and spills each heavy
+// value to its own scratch sub-table that is recursed the same way. Block
+// zone maps make the per-value extraction scans cheap: blocks whose code
+// range misses the wanted value are skipped unread.
+type SpillConfig struct {
+	// Table is the persisted input relation.
+	Table *segment.Table
+	// Dims maps cube position → table column, exactly like the in-memory
+	// kernels' dims argument.
+	Dims []int
+	// Cond is the iceberg condition; values are pruned at the histogram
+	// level only when Cond.PrunePartition says a partition of that size
+	// can never qualify (COUNT-style thresholds).
+	Cond agg.Condition
+	// Out receives qualifying cells in BUC's depth-first order.
+	Out disk.CellSink
+	// MemBudget is the resident-byte budget for loaded partitions, scan
+	// buffers and histograms (see SpillStats.PeakBytes).
+	MemBudget int64
+	// Breadth selects the BPP breadth-first writing kernel for loaded
+	// partitions instead of depth-first BUC. Cells are identical; only
+	// the write order differs.
+	Breadth bool
+	// FS and ScratchDir locate the scratch space heavy values spill to.
+	FS         wal.FS
+	ScratchDir string
+}
+
+// SpillStats reports what one SpillCube run did. All I/O numbers are
+// measured (segment.IOStats), not simulated.
+type SpillStats struct {
+	// PeakBytes is the high-water mark of the accounted resident set:
+	// loaded relations + index views + kernel scratch (rows×(4·d+16)),
+	// per-node histograms (8×card) and streamed scan/spill block buffers.
+	// It is bounded by MemBudget whenever the budget is feasible (large
+	// enough for one scan buffer and histogram per recursion level).
+	PeakBytes int64
+	// LoadedPartitions counts value runs (or whole tables) loaded and
+	// handed to an in-memory kernel.
+	LoadedPartitions int64
+	// SpilledValues counts heavy values extracted to scratch sub-tables.
+	SpilledValues int64
+	// MaxSpillDepth is the deepest spill nesting reached: 1 = a heavy
+	// value of the base table spilled, 2 = a heavy value of a spilled
+	// sub-table spilled again, and so on.
+	MaxSpillDepth int
+	// PrunedValues counts dimension values discarded at the histogram
+	// stage — partitions whose maximum possible count was already below
+	// the iceberg threshold, never extracted or loaded.
+	PrunedValues int64
+	// BytesSpilled is the total on-disk size of scratch sub-tables.
+	BytesSpilled int64
+	// IO accumulates measured read-side costs across every scan,
+	// including zone-map block skips.
+	IO segment.IOStats
+}
+
+// spiller carries one run's state.
+type spiller struct {
+	cfg     SpillConfig
+	st      *SpillStats
+	ctr     cost.Counters
+	scratch *relation.Scratch
+
+	resident int64
+	seq      int
+
+	scanBuf  int64 // accounted bytes of one streamed block buffer
+	spillBlk int   // BlockRows for scratch sub-tables
+}
+
+// SpillCube computes the iceberg cube over cfg.Table within cfg.MemBudget
+// resident bytes, writing qualifying cells to cfg.Out. The cell set is
+// identical to running BUC (or the BPP kernel) over the fully loaded
+// relation.
+func SpillCube(cfg SpillConfig) (*SpillStats, error) {
+	if cfg.Table == nil || cfg.Out == nil || cfg.Cond == nil {
+		return nil, fmt.Errorf("spill: Table, Cond and Out are required")
+	}
+	if cfg.MemBudget <= 0 {
+		return nil, fmt.Errorf("spill: MemBudget must be positive")
+	}
+	if cfg.FS == nil || cfg.ScratchDir == "" {
+		return nil, fmt.Errorf("spill: FS and ScratchDir are required")
+	}
+	width := len(cfg.Table.Names())
+	if len(cfg.Dims) == 0 {
+		return nil, fmt.Errorf("spill: no cube dimensions")
+	}
+	seen := make(map[int]bool)
+	for _, d := range cfg.Dims {
+		if d < 0 || d >= width || seen[d] {
+			return nil, fmt.Errorf("spill: bad cube dimension %d", d)
+		}
+		seen[d] = true
+	}
+
+	s := &spiller{cfg: cfg, st: &SpillStats{}, scratch: relation.NewScratch()}
+	s.scanBuf = int64(cfg.Table.BlockRows()) * int64(4*width+8)
+	// Scratch sub-tables use blocks small enough that each recursion
+	// level's streamed buffers stay a modest fraction of the budget.
+	s.spillBlk = cfg.Table.BlockRows()
+	if max := int(cfg.MemBudget / (8 * int64(4*width+8))); s.spillBlk > max {
+		s.spillBlk = max
+	}
+	if s.spillBlk < 64 {
+		s.spillBlk = 64
+	}
+
+	// The "all" cell: one streamed measure-only pass, like BUC's writeAll.
+	all := agg.NewState()
+	s.charge(8 * int64(cfg.Table.BlockRows()))
+	err := cfg.Table.Scan(segment.ScanOptions{Cols: []int{}, Meas: true, Stats: &s.st.IO}, func(ch *segment.Chunk) error {
+		for _, m := range ch.Meas {
+			all.Add(m)
+		}
+		return nil
+	})
+	s.release(8 * int64(cfg.Table.BlockRows()))
+	if err != nil {
+		return s.st, err
+	}
+	if cfg.Cond.Holds(all) {
+		cfg.Out.WriteCell(0, nil, all)
+	}
+
+	// Whole-table fast path: if everything fits, load once and run every
+	// dimension subtree over the same relation, exactly like in-memory BUC.
+	if s.loadBytes(int(cfg.Table.Rows()))+s.scanBuf <= cfg.MemBudget {
+		rel, err := s.load(cfg.Table, nil)
+		if err != nil {
+			return s.st, err
+		}
+		s.st.LoadedPartitions++
+		for p := range cfg.Dims {
+			s.runKernel(rel, p, 0, nil)
+		}
+		s.release(s.loadBytes(rel.Len()))
+		return s.st, nil
+	}
+	key := make([]uint32, 0, len(cfg.Dims))
+	for p := range cfg.Dims {
+		if err := s.node(cfg.Table, p, 0, key, 0); err != nil {
+			return s.st, err
+		}
+	}
+	return s.st, nil
+}
+
+// charge adds n accounted resident bytes, tracking the high-water mark.
+func (s *spiller) charge(n int64) {
+	s.resident += n
+	if s.resident > s.st.PeakBytes {
+		s.st.PeakBytes = s.resident
+	}
+}
+
+func (s *spiller) release(n int64) { s.resident -= n }
+
+// loadBytes is the accounted in-memory working set of n loaded rows: the
+// relation's columns and measures (4·d+8 per row), the index view (4) and
+// the kernel's sort/partition scratch (8).
+func (s *spiller) loadBytes(n int) int64 {
+	return int64(n) * int64(4*len(s.cfg.Table.Names())+16)
+}
+
+// node computes the BUC subtree at cube position p under the given group
+// prefix (mask, key) over the rows of src — the streamed, byte-budgeted
+// analogue of bucRecurse.
+func (s *spiller) node(src *segment.Table, p int, mask lattice.Mask, key []uint32, depth int) error {
+	rows := int(src.Rows())
+	if rows == 0 {
+		return nil
+	}
+	// Fits in the remaining budget → load and finish in memory.
+	if s.loadBytes(rows)+s.scanBuf <= s.cfg.MemBudget-s.resident {
+		rel, err := s.load(src, nil)
+		if err != nil {
+			return err
+		}
+		s.st.LoadedPartitions++
+		s.runKernel(rel, p, mask, key)
+		s.release(s.loadBytes(rel.Len()))
+		return nil
+	}
+
+	// Too big: histogram dims[p] in one streamed projection pass.
+	pdim := s.cfg.Dims[p]
+	card := src.Cards()[pdim]
+	histBytes := int64(8 * card)
+	blockBuf := int64(src.BlockRows()) * 4
+	s.charge(histBytes + blockBuf)
+	hist := make([]int64, card)
+	err := src.Scan(segment.ScanOptions{Cols: []int{pdim}, Stats: &s.st.IO}, func(ch *segment.Chunk) error {
+		for _, v := range ch.Cols[pdim] {
+			hist[v]++
+		}
+		return nil
+	})
+	s.release(blockBuf)
+	if err != nil {
+		s.release(histBytes)
+		return err
+	}
+
+	childMask := mask | 1<<uint(p)
+	avail := s.cfg.MemBudget - s.resident - s.scanBuf
+	for v := 0; v < card; v++ {
+		n := hist[v]
+		if n == 0 {
+			continue
+		}
+		// Value-level iceberg prune: a partition of n rows can reach at
+		// most COUNT=n, so when the condition already rejects that size
+		// the value (and everything beneath it) is skipped unloaded.
+		if s.cfg.Cond.PrunePartition(n) {
+			s.st.PrunedValues++
+			continue
+		}
+		if s.loadBytes(int(n)) > avail {
+			if err := s.heavyValue(src, p, uint32(v), childMask, key, depth); err != nil {
+				s.release(histBytes)
+				return err
+			}
+			continue
+		}
+		// Greedy run of light values [v, w]: as many consecutive
+		// surviving values as fit the remaining budget in one load.
+		w, total := v, n
+		for w+1 < card {
+			nn := hist[w+1]
+			if nn > 0 && s.cfg.Cond.PrunePartition(nn) {
+				break // must not be loaded; close the run before it
+			}
+			if s.loadBytes(int(total+nn)) > avail {
+				break
+			}
+			w++
+			total += nn
+		}
+		rel, err := s.load(src, []segment.Pred{{Dim: pdim, Lo: uint32(v), Hi: uint32(w)}})
+		if err != nil {
+			s.release(histBytes)
+			return err
+		}
+		s.st.LoadedPartitions++
+		s.runKernel(rel, p, mask, key)
+		s.release(s.loadBytes(rel.Len()))
+		// Skip pruned/empty values inside the run in the outer loop.
+		v = w
+	}
+	s.release(histBytes)
+	return nil
+}
+
+// heavyValue handles one partition too large for the remaining budget: its
+// rows are streamed into a scratch sub-table (aggregating the cell state on
+// the way through), the cell is emitted, and the sub-table is recursed at
+// every deeper cube position — multi-level spill.
+func (s *spiller) heavyValue(src *segment.Table, p int, v uint32, childMask lattice.Mask, key []uint32, depth int) error {
+	pdim := s.cfg.Dims[p]
+	dir := path.Join(s.cfg.ScratchDir, fmt.Sprintf("spill-%06d", s.seq))
+	s.seq++
+	s.st.SpilledValues++
+	if depth+1 > s.st.MaxSpillDepth {
+		s.st.MaxSpillDepth = depth + 1
+	}
+	w, err := segment.Create(s.cfg.FS, dir, segment.Schema{Names: src.Names(), Cards: src.Cards()},
+		segment.Options{BlockRows: s.spillBlk, SegmentRows: 64 * s.spillBlk})
+	if err != nil {
+		return err
+	}
+	// Scan buffer (reader side) + writer block buffer.
+	writerBuf := int64(s.spillBlk) * int64(4*len(src.Names())+8)
+	s.charge(s.scanBuf + writerBuf)
+	st := agg.NewState()
+	err = src.Scan(segment.ScanOptions{Meas: true, Preds: []segment.Pred{{Dim: pdim, Lo: v, Hi: v}}, Stats: &s.st.IO}, func(ch *segment.Chunk) error {
+		for _, m := range ch.Meas {
+			st.Add(m)
+		}
+		s.ctr.TuplesScanned += int64(ch.Rows)
+		return w.AppendCols(ch.Cols, ch.Meas)
+	})
+	if err == nil {
+		err = w.Close()
+	}
+	s.release(s.scanBuf + writerBuf)
+	if err != nil {
+		return err
+	}
+	sub, err := segment.Open(s.cfg.FS, dir)
+	if err != nil {
+		return err
+	}
+	s.st.BytesSpilled += sub.SizeBytes()
+
+	childKey := append(key, v)
+	if s.cfg.Cond.Holds(st) {
+		s.cfg.Out.WriteCell(childMask, childKey, st)
+	}
+	for k := p + 1; k < len(s.cfg.Dims); k++ {
+		if err := s.node(sub, k, childMask, childKey, depth+1); err != nil {
+			return err
+		}
+	}
+	s.removeDir(dir)
+	return nil
+}
+
+// load streams src (optionally pred-filtered) into a fresh exactly-sized
+// relation, charging its accounted working set. The caller releases
+// loadBytes(rel.Len()) when done with the relation.
+func (s *spiller) load(src *segment.Table, preds []segment.Pred) (*relation.Relation, error) {
+	s.charge(s.scanBuf)
+	defer s.release(s.scanBuf)
+	// Count first so the relation can be preallocated exactly; the count
+	// pass decodes only the predicate columns and is cheap next to the
+	// full-width load.
+	n := 0
+	if err := src.Scan(segment.ScanOptions{Cols: []int{}, Preds: preds, Stats: &s.st.IO}, func(ch *segment.Chunk) error {
+		n += ch.Rows
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	s.charge(s.loadBytes(n))
+	rel := relation.NewWithCapacity(src.Names(), src.Cards(), n)
+	err := src.Scan(segment.ScanOptions{Meas: true, Preds: preds, Stats: &s.st.IO}, func(ch *segment.Chunk) error {
+		rel.AppendColumns(ch.Cols, ch.Meas)
+		s.ctr.TuplesScanned += int64(ch.Rows)
+		return nil
+	})
+	if err != nil {
+		s.release(s.loadBytes(n))
+		return nil, err
+	}
+	return rel, nil
+}
+
+// runKernel runs the in-memory cube kernel over a loaded partition at
+// cube position p under prefix (mask, key): depth-first bucRecurse by
+// default, the breadth-first BPP kernel when cfg.Breadth is set. Both
+// write exactly the cells of the BUC subtree rooted at mask|1<<p.
+func (s *spiller) runKernel(rel *relation.Relation, p int, mask lattice.Mask, key []uint32) {
+	if rel.Len() == 0 {
+		return
+	}
+	view := rel.Identity()
+	c := &bucCtx{rel: rel, dims: s.cfg.Dims, cond: s.cfg.Cond, out: s.cfg.Out, ctr: &s.ctr, scratch: s.scratch}
+	if s.cfg.Breadth {
+		t := lattice.FullSubtree(mask|1<<uint(p), len(s.cfg.Dims))
+		rootPos := t.Root.Dims()
+		rootDims := make([]int, len(rootPos))
+		for i, rp := range rootPos {
+			rootDims[i] = s.cfg.Dims[rp]
+		}
+		rel.SortViewScratch(view, rootDims, &s.ctr, s.scratch)
+		kkey := make([]uint32, len(rootPos))
+		c.breadthNode(view, t.Root, rootPos, t, kkey)
+		return
+	}
+	kkey := append(make([]uint32, 0, len(s.cfg.Dims)), key...)
+	c.bucRecurse(view, p, mask, kkey)
+}
+
+// removeDir deletes a scratch sub-table's files (best effort — scratch
+// space is transient by definition).
+func (s *spiller) removeDir(dir string) {
+	names, err := s.cfg.FS.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		s.cfg.FS.Remove(path.Join(dir, n))
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"icebergcube/internal/agg"
+	"icebergcube/internal/cost"
+	"icebergcube/internal/relation"
+	"icebergcube/internal/results"
+	"icebergcube/internal/segment"
+	"icebergcube/internal/wal"
+)
+
+// flushTable persists rel into a segment table on fsys, optionally
+// pre-sorted by one dimension so that dimension's block zone maps are
+// selective (the clustered layout a real flush-from-sorted-ingest
+// produces).
+func flushTable(t *testing.T, fsys wal.FS, dir string, rel *relation.Relation, sortDim, blockRows int) *segment.Table {
+	t.Helper()
+	cards := make([]int, rel.NumDims())
+	for d := range cards {
+		cards[d] = rel.Card(d)
+	}
+	w, err := segment.Create(fsys, dir, segment.Schema{Names: rel.Names(), Cards: cards},
+		segment.Options{BlockRows: blockRows, SegmentRows: 4 * blockRows})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	view := rel.Identity()
+	if sortDim >= 0 {
+		var ctr cost.Counters
+		rel.SortViewScratch(view, []int{sortDim}, &ctr, nil)
+	}
+	row := make([]uint32, rel.NumDims())
+	for _, r := range view {
+		for d := range row {
+			row[d] = rel.Value(d, int(r))
+		}
+		if err := w.Append(row, rel.Measure(int(r))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	tab, err := segment.Open(fsys, dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return tab
+}
+
+// runSpill runs SpillCube into a results.Set.
+func runSpill(t *testing.T, fsys wal.FS, tab *segment.Table, dims []int, cond agg.Condition, budget int64, breadth bool) (*results.Set, *SpillStats) {
+	t.Helper()
+	got := results.NewSet()
+	st, err := SpillCube(SpillConfig{
+		Table: tab, Dims: dims, Cond: cond, Out: got,
+		MemBudget: budget, Breadth: breadth,
+		FS: fsys, ScratchDir: "scratch",
+	})
+	if err != nil {
+		t.Fatalf("SpillCube: %v", err)
+	}
+	return got, st
+}
+
+// TestSpillCubeDifferential proves the out-of-core path cell-for-cell
+// identical to the in-memory naive cube across minsups, budgets (from
+// fits-entirely down to multi-level spill) and both kernels.
+func TestSpillCubeDifferential(t *testing.T) {
+	rel := testRel(3000, 5, 21)
+	fsys := wal.NewMemFS()
+	tab := flushTable(t, fsys, "base", rel, 0, 256)
+	dims := allDims(rel)
+	budgets := []int64{1 << 30, 96 << 10, 24 << 10}
+	for _, minsup := range []int64{1, 2, 4} {
+		want := NaiveCube(rel, dims, agg.MinSupport(minsup))
+		for _, budget := range budgets {
+			for _, breadth := range []bool{false, true} {
+				name := fmt.Sprintf("minsup=%d/budget=%d/breadth=%v", minsup, budget, breadth)
+				t.Run(name, func(t *testing.T) {
+					got, _ := runSpill(t, fsys, tab, dims, agg.MinSupport(minsup), budget, breadth)
+					if diff := want.Diff(got); diff != "" {
+						t.Fatalf("spill cube differs from naive: %s", diff)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSpillCubeMinSum exercises a non-count condition, where value-level
+// histogram pruning must be disabled (PrunePartition is always false for
+// MinSum) and everything still matches.
+func TestSpillCubeMinSum(t *testing.T) {
+	rel := testRel(1200, 4, 9)
+	fsys := wal.NewMemFS()
+	tab := flushTable(t, fsys, "base", rel, 0, 128)
+	dims := allDims(rel)
+	cond := agg.MinSum(50)
+	want := NaiveCube(rel, dims, cond)
+	got, st := runSpill(t, fsys, tab, dims, cond, 16<<10, false)
+	if diff := want.Diff(got); diff != "" {
+		t.Fatalf("spill cube (MinSum) differs from naive: %s", diff)
+	}
+	if st.PrunedValues != 0 {
+		t.Fatalf("MinSum must not value-prune, pruned %d", st.PrunedValues)
+	}
+}
+
+// TestSpillCubeSubsetDims runs the cube over a non-contiguous dimension
+// subset (the 9-of-20 weather shape).
+func TestSpillCubeSubsetDims(t *testing.T) {
+	rel := testRel(1500, 6, 11)
+	fsys := wal.NewMemFS()
+	tab := flushTable(t, fsys, "base", rel, 1, 128)
+	dims := []int{1, 3, 4}
+	want := NaiveCube(rel, dims, agg.MinSupport(2))
+	for _, breadth := range []bool{false, true} {
+		got, _ := runSpill(t, fsys, tab, dims, agg.MinSupport(2), 12<<10, breadth)
+		if diff := want.Diff(got); diff != "" {
+			t.Fatalf("spill cube (subset, breadth=%v) differs: %s", breadth, diff)
+		}
+	}
+}
+
+// TestSpillBudgetBound is the acceptance check: a dataset ≥ 4× the memory
+// budget completes with accounted peak resident bytes within the budget,
+// produces a cube identical to the in-memory oracle, reaches multi-level
+// spill, and demonstrably skips blocks via zone maps under a selective
+// minsup.
+func TestSpillBudgetBound(t *testing.T) {
+	rel := testRel(6000, 5, 33)
+	fsys := wal.NewMemFS()
+	tab := flushTable(t, fsys, "base", rel, 0, 256)
+	dims := allDims(rel)
+	const budget = 32 << 10
+	if ratio := float64(rel.SizeBytes()) / float64(budget); ratio < 4 {
+		t.Fatalf("dataset only %.1f× the budget", ratio)
+	}
+	// Selective enough that whole values die at the histogram stage while
+	// the skewed heads still spill.
+	const minsup = 150
+	want := NaiveCube(rel, dims, agg.MinSupport(minsup))
+	got, st := runSpill(t, fsys, tab, dims, agg.MinSupport(minsup), budget, false)
+	if diff := want.Diff(got); diff != "" {
+		t.Fatalf("spill cube differs from in-memory oracle: %s", diff)
+	}
+	if st.PeakBytes <= 0 || st.PeakBytes > budget {
+		t.Fatalf("peak resident bytes %d outside budget %d", st.PeakBytes, budget)
+	}
+	if st.SpilledValues == 0 {
+		t.Fatalf("expected heavy values to spill: %+v", st)
+	}
+	if st.MaxSpillDepth < 2 {
+		t.Fatalf("expected multi-level spill, reached depth %d", st.MaxSpillDepth)
+	}
+	if st.IO.BlocksSkipped == 0 {
+		t.Fatalf("zone maps skipped no blocks: %+v", st.IO)
+	}
+	if st.PrunedValues == 0 {
+		t.Fatalf("selective minsup pruned no values: %+v", st)
+	}
+	t.Logf("peak=%d budget=%d loads=%d spills=%d depth=%d pruned=%d skipped=%d/%d blocks read=%.0fKB spilled=%.0fKB",
+		st.PeakBytes, budget, st.LoadedPartitions, st.SpilledValues, st.MaxSpillDepth, st.PrunedValues,
+		st.IO.BlocksSkipped, st.IO.BlocksSkipped+st.IO.BlocksScanned, float64(st.IO.BytesRead)/1024, float64(st.BytesSpilled)/1024)
+}

@@ -77,6 +77,15 @@ func Experiments() []Experiment {
 				}
 				return c
 			}},
+		{ID: "segment", Title: "columnar cold tier: segment scans vs warm cache", Run: Segment,
+			// Wall-clock measurement; the cold-scan-vs-hit gap needs a
+			// table big enough to span multiple blocks.
+			scale: func(c Config) Config {
+				if c.Tuples < 8000 {
+					c.Tuples = 8000
+				}
+				return c
+			}},
 		{ID: "cores", Title: "intra-worker cores wall-clock speedup", Run: Cores,
 			// Real-time measurement wants enough rows for the kernels to
 			// fork; don't shrink below the bench scale.

@@ -1,0 +1,38 @@
+package exp
+
+import "testing"
+
+// TestSegment_ColdTierRegimes: the columnar cold-tier experiment's
+// headline claims, checked live at a small scale — the cache-hit path
+// beats the cold segment scan by at least 5× at every arity, the
+// ancestor path beats the cold scan at arity 1, and the experiment's own
+// internal checks (cold answers cell-for-cell equal to the warm server,
+// ancestor serving reads zero segment bytes, out-of-core BUC cells equal
+// the in-memory kernel under the quarter-size budget) pass. Kept light so
+// it runs in `make segment-smoke` even under -race.
+func TestSegment_ColdTierRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("segment experiment: wall-clock measurement")
+	}
+	tbl, err := Segment(Config{Tuples: 6000, CacheMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := seriesByName(t, tbl, "cold-scan")
+	hit := seriesByName(t, tbl, "cache-hit")
+	for i, p := range cold.Points {
+		h := hit.Points[i].Y
+		if h <= 0 {
+			t.Fatalf("arity %g: non-positive hit time %g", p.X, h)
+		}
+		if p.Y/h < 5 {
+			t.Errorf("arity %g: cache hit only %.1f× faster than cold scan (%.1fµs vs %.1fµs)",
+				p.X, p.Y/h, h, p.Y)
+		}
+	}
+	anc := seriesByName(t, tbl, "ancestor-hit")
+	if anc.Points[0].Y >= cold.Points[0].Y {
+		t.Errorf("arity 1: ancestor serve (%.1fµs) not faster than cold scan (%.1fµs)",
+			anc.Points[0].Y, cold.Points[0].Y)
+	}
+}

@@ -618,6 +618,26 @@ func (c *Cube) Delete(keys []uint32, meas []float64) error {
 	return nil
 }
 
+// LiveRows returns a copy of the committed live tuples — row-major key
+// codes (width columns per row) and parallel measures, in append order.
+// Buffered uncommitted mutations are excluded. The segment-flush path
+// streams these into the columnar cold tier.
+func (c *Cube) LiveRows() (keys []uint32, meas []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.store.liveCount
+	keys = make([]uint32, 0, n*c.width)
+	meas = make([]float64, 0, n)
+	for id := range c.store.meas {
+		if !c.store.live[id] {
+			continue
+		}
+		keys = append(keys, c.store.row(int32(id))...)
+		meas = append(meas, c.store.meas[id])
+	}
+	return keys, meas
+}
+
 // Pending returns the buffered, uncommitted mutation count.
 func (c *Cube) Pending() int {
 	c.mu.Lock()

@@ -43,6 +43,21 @@ func (e *Encoder) Decode(c uint32) string {
 // Card returns the number of distinct values seen so far.
 func (e *Encoder) Card() int { return len(e.values) }
 
+// Values returns the decoded string per code, in code order. The caller
+// must not modify the result; it is what segment flushes persist so a
+// reloaded table decodes identically.
+func (e *Encoder) Values() []string { return e.values }
+
+// NewEncoderFromValues rebuilds an encoder from a persisted code-ordered
+// value list (the inverse of Values), preserving every code assignment.
+func NewEncoderFromValues(values []string) *Encoder {
+	e := NewEncoder()
+	for _, v := range values {
+		e.Encode(v)
+	}
+	return e
+}
+
 // Dictionary is the per-dimension set of encoders used when loading raw
 // (string-valued) data into a Relation.
 type Dictionary struct {

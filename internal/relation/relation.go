@@ -39,6 +39,18 @@ func New(names []string, cards []int) *Relation {
 	}
 }
 
+// NewWithCapacity returns an empty relation preallocated for n rows, so a
+// bounded-memory loader (the out-of-core spill path) can stream rows in
+// without append reallocation ever exceeding its declared byte budget.
+func NewWithCapacity(names []string, cards []int, n int) *Relation {
+	r := New(names, cards)
+	for d := range r.cols {
+		r.cols[d] = make([]uint32, 0, n)
+	}
+	r.meas = make([]float64, 0, n)
+	return r
+}
+
 // NumDims returns the number of dimension columns.
 func (r *Relation) NumDims() int { return len(r.cols) }
 
@@ -67,6 +79,28 @@ func (r *Relation) Append(dims []uint32, measure float64) {
 		r.cols[d] = append(r.cols[d], v)
 	}
 	r.meas = append(r.meas, measure)
+}
+
+// AppendColumns bulk-appends a batch of rows given in columnar form:
+// cols[d][i] is row i's code for dimension d, meas[i] its measure. This is
+// the segment-scan ingestion path — one bounds check per column per batch
+// instead of per row.
+func (r *Relation) AppendColumns(cols [][]uint32, meas []float64) {
+	if len(cols) != len(r.cols) {
+		panic(fmt.Sprintf("relation: batch has %d dims, want %d", len(cols), len(r.cols)))
+	}
+	for d, col := range cols {
+		if len(col) != len(meas) {
+			panic(fmt.Sprintf("relation: dimension %q batch has %d rows, want %d", r.names[d], len(col), len(meas)))
+		}
+		for _, v := range col {
+			if int(v) >= r.cards[d] {
+				panic(fmt.Sprintf("relation: code %d out of range for dimension %q (card %d)", v, r.names[d], r.cards[d]))
+			}
+		}
+		r.cols[d] = append(r.cols[d], col...)
+	}
+	r.meas = append(r.meas, meas...)
 }
 
 // Value returns the code of dimension d in row `row`.

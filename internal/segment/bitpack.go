@@ -1,0 +1,76 @@
+package segment
+
+import "math/bits"
+
+// packWidth returns the number of bits needed to store values in [0, v].
+func packWidth(v uint32) uint {
+	return uint(bits.Len32(v))
+}
+
+// appendPacked appends vals bit-packed at width bits per value, after
+// subtracting min (frame-of-reference). width 0 means every value equals
+// min and nothing is written. Bits fill each byte LSB-first.
+func appendPacked(dst []byte, vals []uint32, min uint32, width uint) []byte {
+	if width == 0 {
+		return dst
+	}
+	var acc uint64
+	var nbits uint
+	for _, v := range vals {
+		acc |= uint64(v-min) << nbits
+		nbits += width
+		for nbits >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+// packedLen returns the byte length of n width-bit values.
+func packedLen(n int, width uint) int {
+	return (n*int(width) + 7) / 8
+}
+
+// unpackInto decodes n width-bit deltas from src into out, adding min.
+// Every delta must be ≤ maxDelta (the block zone map's max-min); a larger
+// one means the payload disagrees with the footer and the block is
+// corrupt — the decoded codes must never escape into the kernels, whose
+// scratch tables are sized by the schema cardinalities.
+func unpackInto(out []uint32, src []byte, n int, min uint32, width uint, maxDelta uint32) error {
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			out[i] = min
+		}
+		return nil
+	}
+	if width > 32 {
+		return corruptf("bit width %d", width)
+	}
+	if len(src) != packedLen(n, width) {
+		return corruptf("packed payload %d bytes for %d×%d-bit values", len(src), n, width)
+	}
+	mask := uint64(1)<<width - 1
+	var acc uint64
+	var nbits uint
+	pos := 0
+	for i := 0; i < n; i++ {
+		for nbits < width {
+			acc |= uint64(src[pos]) << nbits
+			pos++
+			nbits += 8
+		}
+		delta := uint32(acc & mask)
+		if delta > maxDelta {
+			return corruptf("code delta %d exceeds zone max %d", delta, maxDelta)
+		}
+		out[i] = min + delta
+		acc >>= width
+		nbits -= width
+	}
+	return nil
+}

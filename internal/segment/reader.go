@@ -1,0 +1,578 @@
+package segment
+
+import (
+	"encoding/binary"
+	"io"
+	"io/fs"
+	"math"
+	"path"
+	"time"
+
+	"icebergcube/internal/wal"
+)
+
+// ZoneMap is one dimension's code statistics over some row range.
+type ZoneMap struct {
+	Min, Max uint32
+	// Distinct is exact per block; at table level it is the max over
+	// blocks — a lower bound, good enough for planner heuristics.
+	Distinct int
+}
+
+// IOStats accumulates *measured* read-side costs: real bytes and calls
+// against the filesystem and real wall seconds inside ReadAt. This is the
+// accounting that replaces internal/disk's simulated model on the
+// out-of-core path; the simulator remains the paper-figure cost model.
+type IOStats struct {
+	BlocksScanned int64
+	BlocksSkipped int64 // zone-map prunes: block never read
+	ReadCalls     int64
+	BytesRead     int64
+	ReadSeconds   float64
+	RowsScanned   int64 // rows decoded before predicate filtering
+	RowsYielded   int64 // rows surviving predicate filtering
+}
+
+// Add folds o into s.
+func (s *IOStats) Add(o IOStats) {
+	s.BlocksScanned += o.BlocksScanned
+	s.BlocksSkipped += o.BlocksSkipped
+	s.ReadCalls += o.ReadCalls
+	s.BytesRead += o.BytesRead
+	s.ReadSeconds += o.ReadSeconds
+	s.RowsScanned += o.RowsScanned
+	s.RowsYielded += o.RowsYielded
+}
+
+// Pred restricts a scan to rows whose code for Dim lies in [Lo, Hi]
+// (inclusive, matching the zone maps). Blocks whose zone range misses the
+// predicate are skipped without being read.
+type Pred struct {
+	Dim int
+	Lo  uint32
+	Hi  uint32
+}
+
+// ScanOptions selects what a scan decodes and filters.
+type ScanOptions struct {
+	// Cols lists the dimensions to decode; nil means all. Predicate
+	// dimensions are decoded as needed regardless but only listed (or
+	// all, when nil) columns appear in the yielded chunks.
+	Cols []int
+	// Meas decodes the measure column.
+	Meas bool
+	// Preds are conjunctive code-range filters, applied at block level
+	// (zone-map skip) and row level (chunks arrive pre-filtered).
+	Preds []Pred
+	// Stats, when non-nil, accumulates measured I/O for this scan.
+	Stats *IOStats
+}
+
+// Chunk is one streamed batch of decoded rows. Cols is indexed by
+// dimension (nil for unrequested dimensions); buffers are reused across
+// yields — copy out anything retained.
+type Chunk struct {
+	Rows int
+	Cols [][]uint32
+	Meas []float64
+}
+
+// segInfo is one opened segment: its manifest entry plus decoded footer.
+type segInfo struct {
+	entry  segEntry
+	blocks []blockMeta
+}
+
+// Table is an opened segment directory: validated manifest, per-segment
+// block indexes and folded table-level zone maps. A Table only holds
+// metadata — Scan opens and reads the segment files on demand.
+type Table struct {
+	fs   wal.FS
+	dir  string
+	man  manifest
+	segs []segInfo
+	zone []ZoneMap
+}
+
+// Open reads and validates dir's MANIFEST and every segment footer.
+// Integrity failures return ErrCorrupt.
+func Open(fsys wal.FS, dir string) (*Table, error) {
+	mf, err := fsys.OpenFile(path.Join(dir, ManifestName), wal.FlagRead, fs.FileMode(0))
+	if err != nil {
+		return nil, err
+	}
+	raw, err := readAll(mf)
+	mf.Close()
+	if err != nil {
+		return nil, err
+	}
+	man, err := decodeManifest(raw)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{fs: fsys, dir: dir, man: man}
+	for _, e := range man.Segments {
+		blocks, err := t.readFooter(e)
+		if err != nil {
+			return nil, err
+		}
+		t.segs = append(t.segs, segInfo{entry: e, blocks: blocks})
+	}
+	t.foldZones()
+	return t, nil
+}
+
+// readFooter opens one segment file, checks its magic and tail, and
+// decodes + validates the footer block index.
+func (t *Table) readFooter(e segEntry) ([]blockMeta, error) {
+	f, err := t.fs.OpenFile(path.Join(t.dir, e.Name), wal.FlagRead, fs.FileMode(0))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ra, err := readerAt(f, e.Name)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [headerSize]byte
+	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
+		return nil, corruptf("%s: header: %v", e.Name, err)
+	}
+	if hdr != segMagic {
+		return nil, corruptf("%s: bad magic", e.Name)
+	}
+	var tail [tailSize]byte
+	if _, err := ra.ReadAt(tail[:], e.Size-tailSize); err != nil {
+		return nil, corruptf("%s: tail: %v", e.Name, err)
+	}
+	if [8]byte(tail[8:16]) != tailMagic {
+		return nil, corruptf("%s: bad tail magic", e.Name)
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(tail[0:]))
+	if footerOff < headerSize || footerOff > e.Size-tailSize-frameSize {
+		return nil, corruptf("%s: footer offset %d in %d-byte file", e.Name, footerOff, e.Size)
+	}
+	fbuf := make([]byte, e.Size-tailSize-footerOff)
+	if _, err := ra.ReadAt(fbuf, footerOff); err != nil {
+		return nil, corruptf("%s: footer: %v", e.Name, err)
+	}
+	payload, err := checkFrame(fbuf, e.Name+": footer")
+	if err != nil {
+		return nil, err
+	}
+	return t.decodeFooter(e, payload, footerOff)
+}
+
+// decodeFooter parses the footer payload and cross-checks every block's
+// geometry against the manifest and schema.
+func (t *Table) decodeFooter(e segEntry, payload []byte, footerOff int64) ([]blockMeta, error) {
+	d := len(t.man.Names)
+	r := &byteReader{b: payload}
+	nblocks := int(r.u32())
+	nd := int(r.u32())
+	if nd != d {
+		return nil, corruptf("%s: footer has %d dims (schema %d)", e.Name, nd, d)
+	}
+	if nblocks < 0 || nblocks > maxFrame/4 {
+		return nil, corruptf("%s: %d blocks", e.Name, nblocks)
+	}
+	blocks := make([]blockMeta, 0, nblocks)
+	next := int64(headerSize)
+	var rows int64
+	for i := 0; i < nblocks; i++ {
+		bm := blockMeta{off: int64(r.u64()), rows: int(r.u32()), cols: make([]colMeta, d)}
+		if bm.off != next {
+			return nil, corruptf("%s: block %d at %d (want %d)", e.Name, i, bm.off, next)
+		}
+		if bm.rows <= 0 || bm.rows > t.man.BlockRows {
+			return nil, corruptf("%s: block %d has %d rows", e.Name, i, bm.rows)
+		}
+		var span int64
+		for dd := 0; dd < d; dd++ {
+			c := colMeta{min: r.u32(), max: r.u32(), distinct: r.u32(), size: r.u32()}
+			if c.min > c.max || int64(c.max) >= int64(t.man.Cards[dd]) {
+				return nil, corruptf("%s: block %d dim %d zone [%d,%d] card %d", e.Name, i, dd, c.min, c.max, t.man.Cards[dd])
+			}
+			if c.distinct == 0 || int(c.distinct) > bm.rows {
+				return nil, corruptf("%s: block %d dim %d distinct %d of %d rows", e.Name, i, dd, c.distinct, bm.rows)
+			}
+			width := packWidth(c.max - c.min)
+			if int(c.size) != frameSize+5+packedLen(bm.rows, width) {
+				return nil, corruptf("%s: block %d dim %d chunk %d bytes", e.Name, i, dd, c.size)
+			}
+			bm.cols[dd] = c
+			span += int64(c.size)
+		}
+		bm.measLen = r.u32()
+		if int(bm.measLen) != frameSize+8*bm.rows {
+			return nil, corruptf("%s: block %d measure chunk %d bytes", e.Name, i, bm.measLen)
+		}
+		span += int64(bm.measLen)
+		next = bm.off + span
+		rows += int64(bm.rows)
+		blocks = append(blocks, bm)
+	}
+	if r.err || r.pos != len(r.b) {
+		return nil, corruptf("%s: footer payload geometry", e.Name)
+	}
+	if next != footerOff {
+		return nil, corruptf("%s: blocks end at %d, footer at %d", e.Name, next, footerOff)
+	}
+	if rows != e.Rows {
+		return nil, corruptf("%s: footer rows %d, manifest %d", e.Name, rows, e.Rows)
+	}
+	return blocks, nil
+}
+
+// foldZones derives table-level zone maps from the block zone maps.
+func (t *Table) foldZones() {
+	d := len(t.man.Names)
+	t.zone = make([]ZoneMap, d)
+	first := true
+	for _, s := range t.segs {
+		for _, b := range s.blocks {
+			for dd, c := range b.cols {
+				z := &t.zone[dd]
+				if first {
+					z.Min, z.Max = c.min, c.max
+				} else {
+					if c.min < z.Min {
+						z.Min = c.min
+					}
+					if c.max > z.Max {
+						z.Max = c.max
+					}
+				}
+				if int(c.distinct) > z.Distinct {
+					z.Distinct = int(c.distinct)
+				}
+			}
+			first = false
+		}
+	}
+}
+
+// Names returns the dimension names.
+func (t *Table) Names() []string { return t.man.Names }
+
+// Cards returns the per-dimension code capacities.
+func (t *Table) Cards() []int { return t.man.Cards }
+
+// Dicts returns the persisted per-dimension dictionaries (nil when the
+// table was written without one).
+func (t *Table) Dicts() [][]string { return t.man.Dicts }
+
+// Rows returns the total row count.
+func (t *Table) Rows() int64 { return t.man.Rows }
+
+// BlockRows returns the rows-per-block the table was written with.
+func (t *Table) BlockRows() int { return t.man.BlockRows }
+
+// Zones returns the table-level per-dimension zone maps.
+func (t *Table) Zones() []ZoneMap { return append([]ZoneMap(nil), t.zone...) }
+
+// SizeBytes returns the on-disk footprint of all segment files.
+func (t *Table) SizeBytes() int64 {
+	var n int64
+	for _, s := range t.segs {
+		n += s.entry.Size
+	}
+	return n
+}
+
+// byteReader is a bounds-checked little-endian cursor.
+type byteReader struct {
+	b   []byte
+	pos int
+	err bool
+}
+
+func (r *byteReader) u32() uint32 {
+	if r.pos+4 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *byteReader) u64() uint64 {
+	if r.pos+8 > len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v
+}
+
+// scanState carries the reusable buffers of one Scan.
+type scanState struct {
+	needDim []bool // decode this dimension
+	outDim  []bool // include it in yielded chunks
+	cols    [][]uint32
+	meas    []float64
+	keep    []int32
+	raw     []byte
+	chunk   Chunk
+}
+
+// Scan streams the table's rows through yield in storage order, decoding
+// only the requested columns, skipping blocks whose zone maps miss a
+// predicate and filtering surviving rows against the predicates. The
+// chunk passed to yield reuses buffers; yield returning a non-nil error
+// aborts the scan with that error.
+func (t *Table) Scan(opts ScanOptions, yield func(*Chunk) error) error {
+	d := len(t.man.Names)
+	for _, p := range opts.Preds {
+		if p.Dim < 0 || p.Dim >= d {
+			return corruptf("scan: predicate dim %d", p.Dim)
+		}
+	}
+	for _, c := range opts.Cols {
+		if c < 0 || c >= d {
+			return corruptf("scan: column %d", c)
+		}
+	}
+	st := &scanState{
+		needDim: make([]bool, d),
+		outDim:  make([]bool, d),
+		cols:    make([][]uint32, d),
+		chunk:   Chunk{Cols: make([][]uint32, d)},
+	}
+	if opts.Cols == nil {
+		for i := range st.outDim {
+			st.outDim[i] = true
+		}
+	} else {
+		for _, c := range opts.Cols {
+			st.outDim[c] = true
+		}
+	}
+	copy(st.needDim, st.outDim)
+	for _, p := range opts.Preds {
+		st.needDim[p.Dim] = true
+	}
+	for dd := 0; dd < d; dd++ {
+		if st.needDim[dd] {
+			st.cols[dd] = make([]uint32, t.man.BlockRows)
+		}
+	}
+	if opts.Meas {
+		st.meas = make([]float64, t.man.BlockRows)
+	}
+	for _, seg := range t.segs {
+		if err := t.scanSegment(seg, opts, st, yield); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanSegment scans one segment file's blocks.
+func (t *Table) scanSegment(seg segInfo, opts ScanOptions, st *scanState, yield func(*Chunk) error) error {
+	f, err := t.fs.OpenFile(path.Join(t.dir, seg.entry.Name), wal.FlagRead, fs.FileMode(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ra, err := readerAt(f, seg.entry.Name)
+	if err != nil {
+		return err
+	}
+blocks:
+	for bi := range seg.blocks {
+		b := &seg.blocks[bi]
+		for _, p := range opts.Preds {
+			c := b.cols[p.Dim]
+			if p.Lo > c.max || p.Hi < c.min {
+				if opts.Stats != nil {
+					opts.Stats.BlocksSkipped++
+				}
+				continue blocks
+			}
+		}
+		if err := t.scanBlock(ra, seg.entry.Name, b, opts, st, yield); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chunkSpan returns the byte offset (within the file) and framed length
+// of chunk index ci in block b, where indexes 0..d-1 are the dimension
+// chunks and d is the measure chunk.
+func chunkSpan(b *blockMeta, ci int) (off int64, size int) {
+	off = b.off
+	for i := 0; i < ci; i++ {
+		off += int64(b.cols[i].size)
+	}
+	if ci == len(b.cols) {
+		return off, int(b.measLen)
+	}
+	return off, int(b.cols[ci].size)
+}
+
+// scanBlock reads the needed chunks of one block (coalescing adjacent
+// reads), decodes and validates them, applies row-level predicates and
+// yields the surviving rows.
+func (t *Table) scanBlock(ra io.ReaderAt, name string, b *blockMeta, opts ScanOptions, st *scanState, yield func(*Chunk) error) error {
+	d := len(b.cols)
+	// Coalesce the needed chunk indexes into contiguous byte runs.
+	need := func(ci int) bool {
+		if ci == d {
+			return opts.Meas
+		}
+		return st.needDim[ci]
+	}
+	type span struct {
+		ci   int // first chunk index
+		off  int64
+		size int
+		n    int // chunk count
+	}
+	var runs []span
+	for ci := 0; ci <= d; ci++ {
+		if !need(ci) {
+			continue
+		}
+		off, size := chunkSpan(b, ci)
+		if len(runs) > 0 {
+			last := &runs[len(runs)-1]
+			if last.off+int64(last.size) == off {
+				last.size += size
+				last.n++
+				continue
+			}
+		}
+		runs = append(runs, span{ci: ci, off: off, size: size, n: 1})
+	}
+	if len(runs) == 0 {
+		return nil // degenerate scan: nothing requested
+	}
+	if opts.Stats != nil {
+		opts.Stats.BlocksScanned++
+		opts.Stats.RowsScanned += int64(b.rows)
+	}
+	total := 0
+	for _, run := range runs {
+		total += run.size
+	}
+	if cap(st.raw) < total {
+		st.raw = make([]byte, total)
+	}
+	// chunkBuf[ci] aliases st.raw for each needed chunk.
+	chunkBuf := make(map[int][]byte, d+1)
+	pos := 0
+	for _, run := range runs {
+		buf := st.raw[pos : pos+run.size]
+		pos += run.size
+		start := time.Now()
+		if _, err := ra.ReadAt(buf, run.off); err != nil {
+			return corruptf("%s: block at %d: %v", name, b.off, err)
+		}
+		if opts.Stats != nil {
+			opts.Stats.ReadSeconds += time.Since(start).Seconds()
+			opts.Stats.ReadCalls++
+			opts.Stats.BytesRead += int64(run.size)
+		}
+		at := 0
+		for k, ci := 0, run.ci; k < run.n; ci++ {
+			_, sz := chunkSpan(b, ci)
+			if need(ci) {
+				chunkBuf[ci] = buf[at : at+sz]
+				k++
+			}
+			at += sz
+		}
+	}
+	// Decode dimension chunks.
+	for dd := 0; dd < d; dd++ {
+		if !st.needDim[dd] {
+			continue
+		}
+		payload, err := checkFrame(chunkBuf[dd], name+": dim chunk")
+		if err != nil {
+			return err
+		}
+		if len(payload) < 5 {
+			return corruptf("%s: dim %d chunk %d bytes", name, dd, len(payload))
+		}
+		min := binary.LittleEndian.Uint32(payload[0:])
+		width := uint(payload[4])
+		c := b.cols[dd]
+		if min != c.min || width != packWidth(c.max-c.min) {
+			return corruptf("%s: dim %d chunk header disagrees with footer", name, dd)
+		}
+		if err := unpackInto(st.cols[dd][:b.rows], payload[5:], b.rows, min, width, c.max-c.min); err != nil {
+			return err
+		}
+	}
+	if opts.Meas {
+		payload, err := checkFrame(chunkBuf[d], name+": measure chunk")
+		if err != nil {
+			return err
+		}
+		if len(payload) != 8*b.rows {
+			return corruptf("%s: measure chunk %d bytes for %d rows", name, len(payload), b.rows)
+		}
+		for i := 0; i < b.rows; i++ {
+			st.meas[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+	}
+	// Row-level predicate filtering.
+	st.keep = st.keep[:0]
+	if len(opts.Preds) == 0 {
+		for i := 0; i < b.rows; i++ {
+			st.keep = append(st.keep, int32(i))
+		}
+	} else {
+	rows:
+		for i := 0; i < b.rows; i++ {
+			for _, p := range opts.Preds {
+				v := st.cols[p.Dim][i]
+				if v < p.Lo || v > p.Hi {
+					continue rows
+				}
+			}
+			st.keep = append(st.keep, int32(i))
+		}
+	}
+	n := len(st.keep)
+	if n == 0 {
+		return nil
+	}
+	if opts.Stats != nil {
+		opts.Stats.RowsYielded += int64(n)
+	}
+	ch := &st.chunk
+	ch.Rows = n
+	dense := n == b.rows
+	for dd := 0; dd < d; dd++ {
+		if !st.outDim[dd] {
+			ch.Cols[dd] = nil
+			continue
+		}
+		if !dense {
+			col := st.cols[dd]
+			for k, idx := range st.keep {
+				col[k] = col[idx]
+			}
+		}
+		ch.Cols[dd] = st.cols[dd][:n]
+	}
+	if opts.Meas {
+		// In-place compaction over the decode buffer is safe: keep is
+		// increasing, so the write index never passes the read index.
+		if !dense {
+			for k, idx := range st.keep {
+				st.meas[k] = st.meas[idx]
+			}
+		}
+		ch.Meas = st.meas[:n]
+	} else {
+		ch.Meas = nil
+	}
+	return yield(ch)
+}

@@ -1,0 +1,246 @@
+// Package segment is the on-disk columnar tier under the in-memory cube
+// engine: dictionary-encoded relations persisted as partitioned segment
+// files, scanned back as streamed column chunks that feed the existing
+// code-keyed radix/partition kernels without materializing the whole
+// relation.
+//
+// A table is a directory holding a MANIFEST plus one or more segment
+// files. Rows are split into fixed-size blocks (BlockRows per block); a
+// block stores one chunk per dimension followed by one measure chunk.
+// Dimension chunks are frame-of-reference bit-packed: the block's minimum
+// code is subtracted and the residuals are packed at the smallest bit
+// width that holds max-min, so low-cardinality and locally-clustered
+// columns compress to a few bits per row. Every chunk is individually
+// framed as
+//
+//	[u32 payload length][u32 CRC32C(payload)][payload]
+//
+// (the WAL's frame discipline), so a torn tail, truncated footer or
+// flipped bit is detected by checksum and surfaces as ErrCorrupt — never
+// as mis-decoded codes.
+//
+// Each segment file ends with a footer index: per-block zone maps
+// (min/max code, row count, exact distinct count per dimension) and chunk
+// byte lengths, itself checksummed, followed by a fixed 16-byte tail
+// locating it. Readers prune at two levels: a scan predicate whose code
+// range misses a block's [min,max] zone skips the block without reading
+// it, and table-level zone maps (folded from the blocks at Open) let
+// callers skip whole scans. IOStats reports *measured* reads — bytes,
+// calls, wall seconds, blocks skipped — unlike internal/disk, whose cost
+// model is simulated for the paper figures (see DESIGN.md).
+//
+// All file access goes through wal.FS, so the segment reader inherits the
+// WAL's fault-injection harness (MemFS crash states, FaultFS bit flips)
+// for free; files must additionally support io.ReaderAt, which DirFS,
+// MemFS and FaultFS all do.
+package segment
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"icebergcube/internal/wal"
+)
+
+const (
+	// ManifestName is the table-level catalog file inside a segment dir.
+	ManifestName = "MANIFEST"
+	// formatVersion is bumped on any incompatible layout change.
+	formatVersion = 1
+
+	// DefaultBlockRows is the rows-per-block default: big enough to
+	// amortize frame overhead, small enough that zone maps stay selective.
+	DefaultBlockRows = 4096
+	// DefaultSegmentRows is the rows-per-segment-file default.
+	DefaultSegmentRows = 1 << 18
+
+	headerSize = 8  // segment file magic
+	tailSize   = 16 // [u64 footer offset][8-byte tail magic]
+	frameSize  = 8  // [u32 len][u32 crc] prefix on every payload
+
+	// maxFrame bounds any single frame a reader will buffer; corrupt
+	// length fields can't drive huge allocations.
+	maxFrame = 1 << 28
+)
+
+var (
+	segMagic  = [8]byte{'I', 'C', 'E', 'S', 'E', 'G', '1', '\n'}
+	tailMagic = [8]byte{'G', 'E', 'S', 'E', 'C', 'I', '1', '\n'}
+
+	// crcTable is CRC32C (Castagnoli), matching the WAL's framing.
+	crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+	// ErrCorrupt wraps every integrity failure: checksum mismatch, torn
+	// tail, truncated footer, impossible lengths or out-of-range codes.
+	ErrCorrupt = errors.New("segment: corrupt")
+	// ErrExists is returned by Create when dir already holds a MANIFEST.
+	ErrExists = errors.New("segment: table already exists")
+)
+
+// corruptf builds an ErrCorrupt with context.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Schema describes the encoded relation a table stores.
+type Schema struct {
+	// Names are the dimension attribute names, in column order.
+	Names []string
+	// Cards are the per-dimension code capacities; every stored code is
+	// < Cards[d].
+	Cards []int
+	// Dicts optionally carries the decoded string value per code for each
+	// dimension (Dicts[d][code]); nil entries mean the dimension is
+	// served decoded-as-decimal (synthetic data).
+	Dicts [][]string
+}
+
+// Options tunes the writer; zero values select the defaults.
+type Options struct {
+	// BlockRows is the number of rows per block (zone-map granularity).
+	BlockRows int
+	// SegmentRows is the number of rows per segment file.
+	SegmentRows int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockRows <= 0 {
+		o.BlockRows = DefaultBlockRows
+	}
+	if o.SegmentRows <= 0 {
+		o.SegmentRows = DefaultSegmentRows
+	}
+	if o.SegmentRows < o.BlockRows {
+		o.SegmentRows = o.BlockRows
+	}
+	return o
+}
+
+// manifest is the JSON payload inside the checksummed MANIFEST frame.
+type manifest struct {
+	Version   int        `json:"version"`
+	Names     []string   `json:"names"`
+	Cards     []int      `json:"cards"`
+	Dicts     [][]string `json:"dicts,omitempty"`
+	BlockRows int        `json:"block_rows"`
+	Rows      int64      `json:"rows"`
+	Segments  []segEntry `json:"segments"`
+}
+
+// segEntry records one segment file; Size lets the reader locate the
+// fixed tail without an FS-level Stat (wal.FS has none).
+type segEntry struct {
+	Name string `json:"name"`
+	Rows int64  `json:"rows"`
+	Size int64  `json:"size"`
+}
+
+// appendFrame appends [len][crc][payload] to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// checkFrame validates a full frame (header + payload) and returns the
+// payload, aliasing buf.
+func checkFrame(buf []byte, what string) ([]byte, error) {
+	if len(buf) < frameSize {
+		return nil, corruptf("%s: frame truncated (%d bytes)", what, len(buf))
+	}
+	n := binary.LittleEndian.Uint32(buf[0:])
+	sum := binary.LittleEndian.Uint32(buf[4:])
+	if int(n) != len(buf)-frameSize {
+		return nil, corruptf("%s: frame length %d != %d", what, n, len(buf)-frameSize)
+	}
+	payload := buf[frameSize:]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, corruptf("%s: checksum mismatch", what)
+	}
+	return payload, nil
+}
+
+// encodeManifest renders the checksummed MANIFEST file contents.
+func encodeManifest(m manifest) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return appendFrame(nil, payload), nil
+}
+
+// decodeManifest parses and validates MANIFEST file contents.
+func decodeManifest(buf []byte) (manifest, error) {
+	var m manifest
+	payload, err := checkFrame(buf, "manifest")
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return m, corruptf("manifest: %v", err)
+	}
+	if m.Version != formatVersion {
+		return m, corruptf("manifest: version %d (want %d)", m.Version, formatVersion)
+	}
+	d := len(m.Names)
+	if d == 0 || len(m.Cards) != d {
+		return m, corruptf("manifest: %d names, %d cards", d, len(m.Cards))
+	}
+	if m.Dicts != nil && len(m.Dicts) != d {
+		return m, corruptf("manifest: %d dicts for %d dims", len(m.Dicts), d)
+	}
+	for i, c := range m.Cards {
+		if c <= 0 {
+			return m, corruptf("manifest: card[%d]=%d", i, c)
+		}
+	}
+	if m.BlockRows <= 0 || m.Rows < 0 {
+		return m, corruptf("manifest: blockRows=%d rows=%d", m.BlockRows, m.Rows)
+	}
+	var total int64
+	for _, s := range m.Segments {
+		if s.Rows < 0 || s.Size < headerSize+tailSize {
+			return m, corruptf("manifest: segment %s rows=%d size=%d", s.Name, s.Rows, s.Size)
+		}
+		total += s.Rows
+	}
+	if total != m.Rows {
+		return m, corruptf("manifest: segment rows sum %d != %d", total, m.Rows)
+	}
+	return m, nil
+}
+
+// readAll slurps a whole file through the sequential Read interface
+// (used for MANIFEST, whose size is not recorded anywhere).
+func readAll(f wal.File) ([]byte, error) {
+	var buf []byte
+	tmp := make([]byte, 4096)
+	for {
+		n, err := f.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) > maxFrame {
+			return nil, corruptf("manifest: larger than %d bytes", maxFrame)
+		}
+	}
+}
+
+// readerAt extracts random access from a wal.File.
+func readerAt(f wal.File, name string) (io.ReaderAt, error) {
+	ra, ok := f.(io.ReaderAt)
+	if !ok {
+		return nil, fmt.Errorf("segment: %s: file does not support ReadAt", name)
+	}
+	return ra, nil
+}

@@ -1,0 +1,281 @@
+package segment
+
+import (
+	"errors"
+	"math/rand"
+	"path"
+	"testing"
+
+	"icebergcube/internal/wal"
+)
+
+// testData builds a deterministic clustered dataset: rows sorted by dim 0
+// so block zone maps on dim 0 are selective (each block covers a narrow
+// code range), with a second uniform dim and a low-cardinality third.
+func testData(rows int, seed int64) (cols [][]uint32, meas []float64, cards []int) {
+	rng := rand.New(rand.NewSource(seed))
+	cards = []int{64, 1000, 3}
+	cols = make([][]uint32, 3)
+	for i := 0; i < rows; i++ {
+		cols[0] = append(cols[0], uint32(i*64/rows)) // sorted, clustered
+		cols[1] = append(cols[1], uint32(rng.Intn(1000)))
+		cols[2] = append(cols[2], uint32(rng.Intn(3)))
+		meas = append(meas, float64(rng.Intn(100)))
+	}
+	return cols, meas, cards
+}
+
+// writeTable flushes cols/meas into dir on fsys.
+func writeTable(t *testing.T, fsys wal.FS, dir string, cols [][]uint32, meas []float64, cards []int, opts Options) {
+	t.Helper()
+	sch := Schema{Names: []string{"a", "b", "c"}[:len(cols)], Cards: cards}
+	w, err := Create(fsys, dir, sch, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := w.AppendCols(cols, meas); err != nil {
+		t.Fatalf("AppendCols: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// collect scans the whole table into flat columns.
+func collect(t *testing.T, tab *Table, opts ScanOptions) ([][]uint32, []float64) {
+	t.Helper()
+	d := len(tab.Names())
+	out := make([][]uint32, d)
+	var meas []float64
+	err := tab.Scan(opts, func(ch *Chunk) error {
+		for dd := 0; dd < d; dd++ {
+			if ch.Cols[dd] != nil {
+				out[dd] = append(out[dd], ch.Cols[dd]...)
+			}
+		}
+		meas = append(meas, ch.Meas...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return out, meas
+}
+
+func TestRoundTrip(t *testing.T) {
+	const rows = 10000
+	cols, meas, cards := testData(rows, 1)
+	fsys := wal.NewMemFS()
+	// Small blocks and segments force multiple blocks per segment and
+	// multiple segment files.
+	writeTable(t, fsys, "tab", cols, meas, cards, Options{BlockRows: 512, SegmentRows: 2048})
+
+	tab, err := Open(fsys, "tab")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if tab.Rows() != rows {
+		t.Fatalf("Rows() = %d, want %d", tab.Rows(), rows)
+	}
+	if len(tab.segs) < 4 {
+		t.Fatalf("expected multiple segment files, got %d", len(tab.segs))
+	}
+	var st IOStats
+	got, gotMeas := collect(t, tab, ScanOptions{Meas: true, Stats: &st})
+	for d := range cols {
+		if len(got[d]) != rows {
+			t.Fatalf("dim %d: %d rows", d, len(got[d]))
+		}
+		for i := range cols[d] {
+			if got[d][i] != cols[d][i] {
+				t.Fatalf("dim %d row %d: got %d want %d", d, i, got[d][i], cols[d][i])
+			}
+		}
+	}
+	for i := range meas {
+		if gotMeas[i] != meas[i] {
+			t.Fatalf("measure row %d: got %v want %v", i, gotMeas[i], meas[i])
+		}
+	}
+	if st.BlocksScanned == 0 || st.BytesRead == 0 || st.ReadCalls == 0 {
+		t.Fatalf("stats not measured: %+v", st)
+	}
+	if st.RowsYielded != rows {
+		t.Fatalf("RowsYielded = %d, want %d", st.RowsYielded, rows)
+	}
+	// Table-level zone maps reflect the data.
+	z := tab.Zones()
+	if z[0].Min != 0 || z[0].Max != 63 {
+		t.Fatalf("dim 0 zone = [%d,%d]", z[0].Min, z[0].Max)
+	}
+	if z[2].Max > 2 {
+		t.Fatalf("dim 2 zone max = %d", z[2].Max)
+	}
+}
+
+func TestZoneMapSkipAndPreds(t *testing.T) {
+	const rows = 10000
+	cols, meas, cards := testData(rows, 2)
+	fsys := wal.NewMemFS()
+	writeTable(t, fsys, "tab", cols, meas, cards, Options{BlockRows: 512, SegmentRows: 4096})
+	tab, err := Open(fsys, "tab")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	// dim 0 is sorted, so a narrow range predicate must prune most blocks.
+	var st IOStats
+	pred := Pred{Dim: 0, Lo: 10, Hi: 12}
+	got, gotMeas := collect(t, tab, ScanOptions{Cols: []int{0, 2}, Meas: true, Preds: []Pred{pred}, Stats: &st})
+	if st.BlocksSkipped == 0 {
+		t.Fatalf("zone maps skipped no blocks: %+v", st)
+	}
+	var want0, want2 []uint32
+	var wantMeas []float64
+	for i := 0; i < rows; i++ {
+		if cols[0][i] >= pred.Lo && cols[0][i] <= pred.Hi {
+			want0 = append(want0, cols[0][i])
+			want2 = append(want2, cols[2][i])
+			wantMeas = append(wantMeas, meas[i])
+		}
+	}
+	if len(got[0]) != len(want0) || int64(len(want0)) != st.RowsYielded {
+		t.Fatalf("filtered rows = %d, want %d (stats %d)", len(got[0]), len(want0), st.RowsYielded)
+	}
+	if got[1] != nil {
+		t.Fatalf("unprojected dim 1 decoded")
+	}
+	for i := range want0 {
+		if got[0][i] != want0[i] || got[2][i] != want2[i] || gotMeas[i] != wantMeas[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+	// Projection without preds reads strictly fewer bytes than a full scan.
+	var full, proj IOStats
+	collect(t, tab, ScanOptions{Meas: true, Stats: &full})
+	collect(t, tab, ScanOptions{Cols: []int{1}, Stats: &proj})
+	if proj.BytesRead >= full.BytesRead {
+		t.Fatalf("projection read %d bytes, full scan %d", proj.BytesRead, full.BytesRead)
+	}
+}
+
+func TestCreateExisting(t *testing.T) {
+	cols, meas, cards := testData(100, 3)
+	fsys := wal.NewMemFS()
+	writeTable(t, fsys, "tab", cols, meas, cards, Options{})
+	_, err := Create(fsys, "tab", Schema{Names: []string{"a"}, Cards: []int{2}}, Options{})
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("Create over existing table: %v", err)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	fsys := wal.NewMemFS()
+	w, err := Create(fsys, "tab", Schema{Names: []string{"a"}, Cards: []int{4}}, Options{})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	tab, err := Open(fsys, "tab")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if tab.Rows() != 0 {
+		t.Fatalf("Rows() = %d", tab.Rows())
+	}
+	if err := tab.Scan(ScanOptions{Meas: true}, func(*Chunk) error {
+		t.Fatal("yield on empty table")
+		return nil
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+}
+
+// scanOK reports whether Open+Scan over the (possibly corrupted) table
+// succeeds, and if so whether the decoded contents match want.
+func scanOK(fsys wal.FS, wantCols [][]uint32, wantMeas []float64) (ok, identical bool) {
+	tab, err := Open(fsys, "tab")
+	if err != nil {
+		return false, false
+	}
+	d := len(tab.Names())
+	got := make([][]uint32, d)
+	var meas []float64
+	err = tab.Scan(ScanOptions{Meas: true}, func(ch *Chunk) error {
+		for dd := 0; dd < d; dd++ {
+			got[dd] = append(got[dd], ch.Cols[dd]...)
+		}
+		meas = append(meas, ch.Meas...)
+		return nil
+	})
+	if err != nil {
+		return false, false
+	}
+	if len(meas) != len(wantMeas) {
+		return true, false
+	}
+	for i := range wantMeas {
+		if meas[i] != wantMeas[i] {
+			return true, false
+		}
+	}
+	for dd := range wantCols {
+		for i := range wantCols[dd] {
+			if got[dd][i] != wantCols[dd][i] {
+				return true, false
+			}
+		}
+	}
+	return true, true
+}
+
+func TestBitFlipsDetected(t *testing.T) {
+	cols, meas, cards := testData(3000, 4)
+	fsys := wal.NewMemFS()
+	writeTable(t, fsys, "tab", cols, meas, cards, Options{BlockRows: 256, SegmentRows: 1024})
+	names, err := fsys.ReadDir("tab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, name := range names {
+		orig, _ := fsys.Bytes(path.Join("tab", name))
+		// Seeded sample of single-bit flips across the file.
+		for trial := 0; trial < 64; trial++ {
+			pos := rng.Intn(len(orig))
+			bit := byte(1) << uint(rng.Intn(8))
+			mut := append([]byte(nil), orig...)
+			mut[pos] ^= bit
+			fsys.SetBytes(path.Join("tab", name), mut)
+			ok, identical := scanOK(fsys, cols, meas)
+			if ok && !identical {
+				t.Fatalf("%s: flip at byte %d bit %x mis-decoded silently", name, pos, bit)
+			}
+		}
+		fsys.SetBytes(path.Join("tab", name), orig)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	cols, meas, cards := testData(2000, 6)
+	fsys := wal.NewMemFS()
+	writeTable(t, fsys, "tab", cols, meas, cards, Options{BlockRows: 256, SegmentRows: 1024})
+	names, err := fsys.ReadDir("tab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, name := range names {
+		orig, _ := fsys.Bytes(path.Join("tab", name))
+		for trial := 0; trial < 32; trial++ {
+			cut := rng.Intn(len(orig)) // strictly shorter
+			fsys.SetBytes(path.Join("tab", name), orig[:cut])
+			if ok, identical := scanOK(fsys, cols, meas); ok && !identical {
+				t.Fatalf("%s truncated to %d bytes mis-decoded silently", name, cut)
+			}
+			fsys.SetBytes(path.Join("tab", name), orig)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"errors"
+	"io"
 	"io/fs"
 	"math/rand"
 	"sync"
@@ -172,6 +173,15 @@ func (h *faultHandle) Write(p []byte) (int, error) {
 }
 
 func (h *faultHandle) Read(p []byte) (int, error) { return h.h.Read(p) }
+
+// ReadAt delegates to the wrapped handle when it supports random access
+// (reads are never fault-injected — the oracle crashes writers).
+func (h *faultHandle) ReadAt(p []byte, off int64) (int, error) {
+	if ra, ok := h.h.(io.ReaderAt); ok {
+		return ra.ReadAt(p, off)
+	}
+	return 0, errors.New("wal: underlying file does not support ReadAt")
+}
 
 func (h *faultHandle) Sync() error {
 	h.fs.mu.Lock()

@@ -186,6 +186,27 @@ func (h *memHandle) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// ReadAt implements io.ReaderAt so random-access readers (the segment
+// footer/block index) can run over MemFS exactly as over *os.File.
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.f.fs.mu.Lock()
+	defer h.f.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("memfs: readat %s: negative offset", h.f.name)
+	}
+	if off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
 func (h *memHandle) Sync() error {
 	h.f.fs.mu.Lock()
 	defer h.f.fs.mu.Unlock()

@@ -1,0 +1,239 @@
+package icebergcube
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"icebergcube/internal/wal"
+)
+
+// cellsEqual compares two Answer outputs cell for cell.
+func cellsEqual(t *testing.T, label string, want, got []Cell) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d cells, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("%s: cell %d differs:\n got %+v\nwant %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// groupBys enumerates every subset of attrs (the full lattice).
+func groupBys(attrs []string) [][]string {
+	var out [][]string
+	for mask := 0; mask < 1<<len(attrs); mask++ {
+		var gb []string
+		for i, a := range attrs {
+			if mask&(1<<i) != 0 {
+				gb = append(gb, a)
+			}
+		}
+		out = append(out, gb)
+	}
+	return out
+}
+
+// TestSegmentRoundTrip proves flush→load→Answer byte-identical, including
+// dictionary values first seen by Append (the extension layer must be
+// persisted and restored with the base dictionary).
+func TestSegmentRoundTrip(t *testing.T) {
+	ds := salesDataset(t)
+	m, err := Materialize(ds, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extend every dictionary with appended values, then commit.
+	if err := m.Append([][]string{
+		{"Tesla", "2024", "silver"},
+		{"Tesla", "1990", "red"},
+		{"Chevy", "2024", "silver"},
+	}, []float64{11, 22, 33}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	fsys := wal.NewMemFS()
+	if err := m.FlushSegmentsFS(fsys, "cube"); err != nil {
+		t.Fatal(err)
+	}
+	// A second flush into the same directory must refuse.
+	if err := m.FlushSegmentsFS(fsys, "cube"); err == nil {
+		t.Fatal("second flush into the same dir succeeded")
+	}
+
+	ds2, err := OpenSegmentsFS(fsys, "cube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Len() != ds.Len()+3 {
+		t.Fatalf("reloaded %d rows, want %d", ds2.Len(), ds.Len()+3)
+	}
+	m2, err := Materialize(ds2, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gb := range groupBys(m.attrs) {
+		for _, minsup := range []int64{1, 3} {
+			want, err := m.Answer(gb, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m2.Answer(gb, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cellsEqual(t, fmt.Sprintf("groupBy=%v minsup=%d", gb, minsup), want, got)
+		}
+	}
+}
+
+// TestColdAnswerMatchesWarm proves the cold tier serves the exact cells
+// the in-memory server does, and that its cache, ancestor rewrite and
+// measured I/O behave: a repeat query hits, a subset query derives from
+// the resident ancestor without touching disk, and cold scans read fewer
+// bytes for narrower projections.
+func TestColdAnswerMatchesWarm(t *testing.T) {
+	ds := SyntheticWeather(3000, 7)
+	dims := ds.PickDimsByCardinalityProduct(5, 8)
+	m, err := Materialize(ds, dims, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys := wal.NewMemFS()
+	if err := m.FlushSegmentsFS(fsys, "cube"); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := OpenColdFS(fsys, "cube", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Rows() != int64(ds.Len()) {
+		t.Fatalf("cold table has %d rows, want %d", cold.Rows(), ds.Len())
+	}
+	for _, gb := range groupBys(dims) {
+		want, err := m.Answer(gb, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cold.Answer(gb, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cellsEqual(t, fmt.Sprintf("groupBy=%v", gb), want, got)
+	}
+
+	cold.ResetCache()
+	wide := dims[:3]
+	_, st, err := cold.AnswerStats(wide, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ColdScan || st.RowsScanned != int64(ds.Len()) {
+		t.Fatalf("first query should cold-scan all rows: %+v", st)
+	}
+	// Repeat: cache hit, no scan.
+	_, st, err = cold.AnswerStats(wide, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.CacheHit {
+		t.Fatalf("repeat query missed: %+v", st)
+	}
+	// Subset of the resident shape: ancestor aggregation, not a scan.
+	before := cold.Metrics()
+	_, st, err = cold.AnswerStats(wide[:1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ColdScan || st.CellsScanned == 0 {
+		t.Fatalf("subset query should derive from the resident ancestor: %+v", st)
+	}
+	after := cold.Metrics()
+	if after.IO.BytesRead != before.IO.BytesRead {
+		t.Fatalf("ancestor derivation touched disk: %d → %d bytes", before.IO.BytesRead, after.IO.BytesRead)
+	}
+	if after.AncestorAggregations != before.AncestorAggregations+1 {
+		t.Fatalf("ancestor aggregation not counted: %+v", after)
+	}
+	// A narrow projection's cold scan reads fewer bytes than a wide one.
+	cold.ResetCache()
+	b0 := cold.Metrics().IO.BytesRead
+	if _, err := cold.Answer(dims[:1], 1); err != nil {
+		t.Fatal(err)
+	}
+	narrow := cold.Metrics().IO.BytesRead - b0
+	cold.ResetCache()
+	b1 := cold.Metrics().IO.BytesRead
+	if _, err := cold.Answer(dims, 1); err != nil {
+		t.Fatal(err)
+	}
+	full := cold.Metrics().IO.BytesRead - b1
+	if narrow >= full {
+		t.Fatalf("1-column cold scan read %d bytes, full scan %d", narrow, full)
+	}
+}
+
+// TestComputeOutOfCoreDifferential proves the public out-of-core path —
+// flushed segments, byte budget, both write orders — produces the exact
+// cells Compute produces in memory, across minsups and a budget forcing
+// multi-level spill.
+func TestComputeOutOfCoreDifferential(t *testing.T) {
+	// 24000 rows × (4·4+8) bytes ≈ 576KB — more than 4× the tight budgets
+	// below, which still leave room for the base table's one-block scan
+	// buffer (4096 rows × 24B ≈ 98KB; a budget under that is infeasible).
+	ds := Synthetic([]string{"a", "b", "c", "d"}, []int{8, 11, 5, 14}, []float64{1, 2, 1, 3}, 24000, 13)
+	fsys := wal.NewMemFS()
+	m, err := Materialize(ds, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FlushSegmentsFS(fsys, "cube"); err != nil {
+		t.Fatal(err)
+	}
+	for _, minsup := range []int64{1, 5} {
+		want, err := Compute(ds, Query{MinSupport: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			algo   Algorithm
+			budget int64
+		}{
+			{RP, 1 << 30},   // fits entirely
+			{RP, 128 << 10}, // forces spill
+			{BPP, 128 << 10},
+			{"", 192 << 10},
+		} {
+			res, st, err := ComputeOutOfCoreFS(fsys, "cube", Query{Algorithm: tc.algo, MinSupport: minsup}, tc.budget)
+			if err != nil {
+				t.Fatalf("algo=%q budget=%d: %v", tc.algo, tc.budget, err)
+			}
+			if st.PeakBytes <= 0 || st.PeakBytes > tc.budget {
+				t.Fatalf("algo=%q: peak %d outside budget %d", tc.algo, st.PeakBytes, tc.budget)
+			}
+			if tc.budget < 1<<20 && st.SpilledValues == 0 {
+				t.Fatalf("algo=%q budget=%d: nothing spilled: %+v", tc.algo, tc.budget, st)
+			}
+			for _, gb := range groupBys(ds.DimNames()) {
+				w, err := want.Cuboid(gb...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, err := res.Cuboid(gb...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cellsEqual(t, fmt.Sprintf("algo=%q budget=%d minsup=%d gb=%v", tc.algo, tc.budget, minsup, gb), w, g)
+			}
+		}
+	}
+	// Unsupported algorithms are rejected.
+	if _, _, err := ComputeOutOfCoreFS(fsys, "cube", Query{Algorithm: PT}, 1<<20); err == nil {
+		t.Fatal("out-of-core PT should be rejected")
+	}
+}
