@@ -282,6 +282,7 @@ func (s *spiller) heavyValue(src *segment.Table, p int, v uint32, childMask latt
 	pdim := s.cfg.Dims[p]
 	dir := path.Join(s.cfg.ScratchDir, fmt.Sprintf("spill-%06d", s.seq))
 	s.seq++
+	defer s.removeDir(dir)
 	s.st.SpilledValues++
 	if depth+1 > s.st.MaxSpillDepth {
 		s.st.MaxSpillDepth = depth + 1
@@ -324,7 +325,6 @@ func (s *spiller) heavyValue(src *segment.Table, p int, v uint32, childMask latt
 			return err
 		}
 	}
-	s.removeDir(dir)
 	return nil
 }
 
@@ -336,9 +336,13 @@ func (s *spiller) load(src *segment.Table, preds []segment.Pred) (*relation.Rela
 	defer s.release(s.scanBuf)
 	// Count first so the relation can be preallocated exactly; the count
 	// pass decodes only the predicate columns and is cheap next to the
-	// full-width load.
+	// full-width load. Without predicates every row survives, so the
+	// manifest row count is the answer — a scan requesting no columns and
+	// no measure is degenerate and would yield nothing.
 	n := 0
-	if err := src.Scan(segment.ScanOptions{Cols: []int{}, Preds: preds, Stats: &s.st.IO}, func(ch *segment.Chunk) error {
+	if preds == nil {
+		n = int(src.Rows())
+	} else if err := src.Scan(segment.ScanOptions{Cols: []int{}, Preds: preds, Stats: &s.st.IO}, func(ch *segment.Chunk) error {
 		n += ch.Rows
 		return nil
 	}); err != nil {
@@ -384,8 +388,8 @@ func (s *spiller) runKernel(rel *relation.Relation, p int, mask lattice.Mask, ke
 	c.bucRecurse(view, p, mask, kkey)
 }
 
-// removeDir deletes a scratch sub-table's files (best effort — scratch
-// space is transient by definition).
+// removeDir deletes a scratch sub-table's files and the directory entry
+// itself (best effort — scratch space is transient by definition).
 func (s *spiller) removeDir(dir string) {
 	names, err := s.cfg.FS.ReadDir(dir)
 	if err != nil {
@@ -394,4 +398,5 @@ func (s *spiller) removeDir(dir string) {
 	for _, n := range names {
 		s.cfg.FS.Remove(path.Join(dir, n))
 	}
+	s.cfg.FS.Remove(dir)
 }

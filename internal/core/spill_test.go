@@ -126,6 +126,40 @@ func TestSpillCubeSubsetDims(t *testing.T) {
 	}
 }
 
+// TestSpillPeakAccountsWholeTableLoad pins the accounting on unfiltered
+// loads: a whole-table load (no predicates) must charge the relation's
+// full working set, so PeakBytes is at least rows×(4·d+16). A regression
+// here (the count pre-pass yielding n=0 for predicate-free scans) made
+// every fits-check and the budget-bound assertion vacuous.
+func TestSpillPeakAccountsWholeTableLoad(t *testing.T) {
+	rel := testRel(1500, 5, 17)
+	fsys := wal.NewMemFS()
+	tab := flushTable(t, fsys, "base", rel, 0, 256)
+	_, st := runSpill(t, fsys, tab, allDims(rel), agg.MinSupport(2), 1<<30, false)
+	minPeak := int64(rel.Len()) * int64(4*rel.NumDims()+16)
+	if st.PeakBytes < minPeak {
+		t.Fatalf("whole-table load charged %d peak bytes, working set is %d", st.PeakBytes, minPeak)
+	}
+}
+
+// TestSpillScratchCleanup asserts every scratch sub-table — files and the
+// directory entry itself — is gone after a run that spilled.
+func TestSpillScratchCleanup(t *testing.T) {
+	rel := testRel(6000, 5, 33)
+	fsys := wal.NewMemFS()
+	tab := flushTable(t, fsys, "base", rel, 0, 256)
+	_, st := runSpill(t, fsys, tab, allDims(rel), agg.MinSupport(2), 32<<10, false)
+	if st.SpilledValues == 0 {
+		t.Fatalf("expected heavy values to spill: %+v", st)
+	}
+	for i := int64(0); i < st.SpilledValues; i++ {
+		dir := fmt.Sprintf("scratch/spill-%06d", i)
+		if names, err := fsys.ReadDir(dir); err == nil {
+			t.Fatalf("scratch dir %s survived with %d entries", dir, len(names))
+		}
+	}
+}
+
 // TestSpillBudgetBound is the acceptance check: a dataset ≥ 4× the memory
 // budget completes with accounted peak resident bytes within the budget,
 // produces a cube identical to the in-memory oracle, reaches multi-level

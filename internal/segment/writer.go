@@ -296,6 +296,15 @@ func (w *Writer) finishSegment() error {
 	return nil
 }
 
+// closeFile closes the open segment file if any, ignoring the close
+// error — used on error paths where the write error is what matters.
+func (w *Writer) closeFile() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}
+
 // Close flushes buffered rows, finishes the open segment, publishes the
 // MANIFEST and syncs the directory. The table is durable iff Close
 // returns nil.
@@ -305,15 +314,15 @@ func (w *Writer) Close() error {
 	}
 	w.closed = true
 	if w.err != nil {
-		if w.f != nil {
-			w.f.Close()
-		}
+		w.closeFile()
 		return w.err
 	}
 	if err := w.flushBlock(); err != nil {
+		w.closeFile()
 		return err
 	}
 	if err := w.finishSegment(); err != nil {
+		w.closeFile()
 		return err
 	}
 	data, err := encodeManifest(w.man)

@@ -96,16 +96,32 @@ func (m *MemFS) MkdirAll(dir string, _ fs.FileMode) error {
 	return nil
 }
 
-// Remove implements FS.
+// Remove implements FS. Like os.Remove it deletes a file or an empty
+// directory.
 func (m *MemFS) Remove(name string) error {
 	name = path.Clean(name)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.files[name]; !ok {
-		return fmt.Errorf("memfs: remove %s: %w", name, fs.ErrNotExist)
+	if _, ok := m.files[name]; ok {
+		delete(m.files, name)
+		return nil
 	}
-	delete(m.files, name)
-	return nil
+	if m.dirs[name] && name != "." {
+		prefix := name + "/"
+		for f := range m.files {
+			if strings.HasPrefix(f, prefix) {
+				return fmt.Errorf("memfs: remove %s: directory not empty", name)
+			}
+		}
+		for d := range m.dirs {
+			if strings.HasPrefix(d, prefix) {
+				return fmt.Errorf("memfs: remove %s: directory not empty", name)
+			}
+		}
+		delete(m.dirs, name)
+		return nil
+	}
+	return fmt.Errorf("memfs: remove %s: %w", name, fs.ErrNotExist)
 }
 
 // SyncDir implements FS. Directory entries in MemFS are durable as soon

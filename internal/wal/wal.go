@@ -105,7 +105,7 @@ type FS interface {
 	ReadDir(dir string) ([]string, error)
 	// MkdirAll creates dir and any missing parents.
 	MkdirAll(dir string, perm fs.FileMode) error
-	// Remove deletes a file.
+	// Remove deletes a file or an empty directory.
 	Remove(name string) error
 	// SyncDir flushes dir's entry table (creations, removals) to stable
 	// storage.
