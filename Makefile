@@ -9,7 +9,7 @@ FUZZ_TARGETS_WAL := FuzzWALReplay
 # Segment fuzz targets (seed corpus under internal/segment/testdata/fuzz/).
 FUZZ_TARGETS_SEGMENT := FuzzSegmentReader
 
-.PHONY: build vet test short race chaos fuzz corpus serve-smoke ingest-smoke wal-smoke adaptive-smoke segment-smoke bench-smoke
+.PHONY: build vet test short race chaos fuzz corpus serve-smoke ingest-smoke wal-smoke adaptive-smoke segment-smoke warp-smoke bench-smoke
 
 # The chaos suite: fault injection, failure detection and recovery tests
 # across the transport, scheduler, distributed-cube and POL layers. Every
@@ -127,6 +127,21 @@ segment-smoke:
 	go test -race -timeout 10m -count=1 -run 'TestSpill' ./internal/core
 	go test -race -timeout 10m -count=1 -run 'SegmentRoundTrip|ColdAnswerMatchesWarm|ComputeOutOfCore' .
 	go test -race -timeout 10m -count=1 -run 'TestSegment_' ./internal/exp
+
+# The HTTP-edge correctness surface under -race: the httpserve unit and
+# golden wire-format suite (admission, batching, streaming, cancellation),
+# the root-package metrics-monotonicity tests (CacheMetrics/CuboidStats/
+# ColdMetrics hammered by readers while queries and commits run), the
+# cubewarp harness's own tests, and a short live cubewarp sweep — Zipf
+# query mix, durable mutations, cell-for-cell differential on sampled
+# responses, batching-on/off derivation check — whose p50/p99/p999
+# snapshot benchguard writes to BENCH_warp_<date>.json.
+warp-smoke:
+	go test -race -timeout 10m -count=1 ./internal/httpserve ./cmd/cubewarp ./cmd/icecube ./cmd/benchguard
+	go test -race -timeout 10m -count=1 -run 'MetricsConcurrentReaders' .
+	go run ./cmd/cubewarp -ops 1500 -conc 8,64 -rows 3000 | \
+		go run ./cmd/benchguard -out BENCH_warp_$$(date +%F).json
+	go run ./cmd/cubewarp -sweep-batching -rows 2000 > /dev/null
 
 # One pass over the paper-figure benchmarks, snapshotted to BENCH_<date>.json
 # and gated against bench/baseline.json. Only allocs/op regressions fail —

@@ -25,6 +25,7 @@ import (
 	"regexp"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -37,7 +38,10 @@ type Snapshot struct {
 	Results   []Result `json:"results"`
 }
 
-// Result is one benchmark line.
+// Result is one benchmark line. The latency fields are populated from
+// the custom p50-ns / p99-ns / p999-ns metric columns cubewarp emits
+// (bench custom metrics, `value unit` pairs after ns/op); plain go-test
+// benchmarks leave them zero with HasLatency false.
 type Result struct {
 	Name        string  `json:"name"`
 	Iterations  int64   `json:"iterations"`
@@ -45,13 +49,50 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	HasMem      bool    `json:"has_mem"`
+
+	P50Ns           float64 `json:"p50_ns,omitempty"`
+	P99Ns           float64 `json:"p99_ns,omitempty"`
+	P999Ns          float64 `json:"p999_ns,omitempty"`
+	DerivesPerQuery float64 `json:"derives_per_query,omitempty"`
+	HasLatency      bool    `json:"has_latency,omitempty"`
 }
 
-// benchLine matches `go test -bench` result lines. The -<n> GOMAXPROCS
-// suffix is split off so snapshots from machines with different core
-// counts compare by benchmark name.
+// benchLine matches the fixed prefix of `go test -bench` result lines
+// (name, iterations, ns/op). The -<n> GOMAXPROCS suffix is split off so
+// snapshots from machines with different core counts compare by
+// benchmark name. Everything after ns/op is `value unit` metric pairs
+// (B/op, allocs/op, and any custom metrics) parsed by parseMetricPairs.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// parseMetricPairs folds the `value unit` pairs trailing ns/op into res.
+// Unknown units are ignored, so new custom metrics never break old
+// guards.
+func parseMetricPairs(rest string, res *Result) {
+	fields := strings.Fields(rest)
+	for i := 0; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "B/op":
+			res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			res.HasMem = true
+		case "allocs/op":
+			res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			res.HasMem = true
+		case "p50-ns":
+			res.P50Ns, _ = strconv.ParseFloat(val, 64)
+			res.HasLatency = true
+		case "p99-ns":
+			res.P99Ns, _ = strconv.ParseFloat(val, 64)
+			res.HasLatency = true
+		case "p999-ns":
+			res.P999Ns, _ = strconv.ParseFloat(val, 64)
+			res.HasLatency = true
+		case "derives/query":
+			res.DerivesPerQuery, _ = strconv.ParseFloat(val, 64)
+		}
+	}
+}
 
 // parseBench extracts benchmark results from `go test -bench` output,
 // passing non-benchmark lines through to echo (nil = discard).
@@ -71,11 +112,7 @@ func parseBench(r io.Reader, echo io.Writer) ([]Result, error) {
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
 		res := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-			res.HasMem = true
-		}
+		parseMetricPairs(m[4], &res)
 		out = append(out, res)
 	}
 	return out, sc.Err()
@@ -92,7 +129,7 @@ type regression struct {
 // was frozen, so it is reported as a warning rather than gated (benchmarks
 // come and go across PRs; the gate only covers names both sides know). Of
 // the repeated names `-count=N` produces, the first occurrence wins.
-func compare(baseline, current []Result, allocSlack, allocGrace float64, timeSlack float64) (regs []regression, missing []string) {
+func compare(baseline, current []Result, allocSlack, allocGrace float64, timeSlack, p99Slack float64) (regs []regression, missing []string) {
 	base := map[string]Result{}
 	for _, r := range baseline {
 		base[r.Name] = r
@@ -120,6 +157,12 @@ func compare(baseline, current []Result, allocSlack, allocGrace float64, timeSla
 			regs = append(regs, regression{cur.Name, fmt.Sprintf(
 				"ns/op %.0f exceeds baseline %.0f × %.2g", cur.NsPerOp, b.NsPerOp, timeSlack)})
 		}
+		// Tail latency gates only benchmarks both sides measured it for —
+		// p99 is the serving SLO, p50 and p999 stay informational.
+		if p99Slack > 0 && cur.HasLatency && b.HasLatency && cur.P99Ns > b.P99Ns*p99Slack {
+			regs = append(regs, regression{cur.Name, fmt.Sprintf(
+				"p99 %.0fns exceeds baseline %.0fns × %.2g", cur.P99Ns, b.P99Ns, p99Slack)})
+		}
 	}
 	return regs, missing
 }
@@ -132,6 +175,7 @@ func main() {
 		allocSlack = flag.Float64("alloc-slack", 1.5, "allowed allocs/op growth factor over baseline")
 		allocGrace = flag.Float64("alloc-grace", 64, "absolute allocs/op grace added to the limit (absorbs one-time setup noise on near-zero baselines)")
 		timeSlack  = flag.Float64("time-slack", 0, "allowed ns/op growth factor (0 = no wall-time gate; CI timing is too noisy)")
+		p99Slack   = flag.Float64("p99-slack", 0, "allowed p99 latency growth factor for benchmarks with latency columns (0 = no tail-latency gate)")
 		strict     = flag.Bool("strict", false, "fail (instead of warn) on benchmarks absent from the baseline — forces every new benchmark to be frozen into the baseline in the same PR")
 		quiet      = flag.Bool("quiet", false, "do not echo the benchmark text")
 	)
@@ -185,7 +229,7 @@ func main() {
 		if err := json.Unmarshal(data, &snap); err != nil {
 			fatalf("benchguard: %s: %v", *baseline, err)
 		}
-		regs, missing := compare(snap.Results, results, *allocSlack, *allocGrace, *timeSlack)
+		regs, missing := compare(snap.Results, results, *allocSlack, *allocGrace, *timeSlack, *p99Slack)
 		for _, name := range missing {
 			if *strict {
 				fmt.Fprintf(os.Stderr, "benchguard: MISSING %s not in baseline %s (add it to the baseline)\n", name, *baseline)

@@ -1,0 +1,570 @@
+// Command cubewarp is a warp-style tail-latency harness for the HTTP
+// serving front-end: it self-hosts an iceberg cube behind
+// internal/httpserve on a loopback listener, drives it with a
+// Zipf-distributed query mix over the cuboid lattice (cold and warm
+// phases, optional durable append+commit mutations riding along), and
+// emits go-bench-format lines with p50/p99/p999 latency columns that
+// benchguard parses and — with -p99-slack — gates.
+//
+// Every run is also a live differential test: every -verify-every'th
+// response is decoded and checked cell-for-cell against the in-process
+// Answer oracle at the version the response declares. Any mismatch
+// fails the run.
+//
+// -sweep-batching runs the identical-query experiment instead: the same
+// 64-way identical query burst against a cache too small to retain
+// anything, with the batching window off and on, asserting that
+// batching strictly reduces derivations/query while every response
+// stays byte-identical to the in-process encoding.
+//
+// Usage:
+//
+//	cubewarp -ops 2000 -conc 8,64 | \
+//	    benchguard -out BENCH_$(date +%F).json -baseline bench/baseline.json -p99-slack 3
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"flag"
+
+	icebergcube "icebergcube"
+	"icebergcube/internal/httpserve"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cubewarp:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	dims        int
+	card        int
+	rows        int
+	seed        int64
+	ops         int
+	conc        []int
+	minsup      int64
+	window      time.Duration
+	mutateEvery int
+	verifyEvery int
+	zipfS       float64
+	budget      int64
+	sweep       bool
+}
+
+func parseArgs(argv []string) (config, error) {
+	fs := flag.NewFlagSet("cubewarp", flag.ContinueOnError)
+	var (
+		dims        = fs.Int("dims", 4, "synthetic cube dimensions")
+		card        = fs.Int("card", 8, "distinct values per dimension")
+		rows        = fs.Int("rows", 5000, "synthetic base rows")
+		seed        = fs.Int64("seed", 1, "workload seed (same seed = same query sequence)")
+		ops         = fs.Int("ops", 2000, "operations per phase per concurrency level")
+		conc        = fs.String("conc", "8,64", "comma-separated concurrency sweep")
+		minsup      = fs.Int64("minsup", 2, "iceberg min-support of every query")
+		window      = fs.Duration("batch-window", 2*time.Millisecond, "identical-query batching window (0 = off)")
+		mutateEvery = fs.Int("mutate-every", 64, "every Nth op is a durable append+commit (0 = read-only)")
+		verifyEvery = fs.Int("verify-every", 16, "cell-for-cell verify every Nth response against in-process Answer (0 = off)")
+		zipfS       = fs.Float64("zipf-s", 1.4, "Zipf skew over the cuboid lattice (must be > 1)")
+		budget      = fs.Int64("cache-budget", 0, "serving cache byte budget (0 = default)")
+		sweep       = fs.Bool("sweep-batching", false, "run the batching-on vs batching-off identical-query experiment instead of the phase sweep")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return config{}, err
+	}
+	cfg := config{
+		dims: *dims, card: *card, rows: *rows, seed: *seed, ops: *ops,
+		minsup: *minsup, window: *window, mutateEvery: *mutateEvery,
+		verifyEvery: *verifyEvery, zipfS: *zipfS, budget: *budget, sweep: *sweep,
+	}
+	for _, f := range strings.Split(*conc, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return config{}, fmt.Errorf("bad -conc element %q", f)
+		}
+		cfg.conc = append(cfg.conc, n)
+	}
+	if cfg.dims < 1 || cfg.dims > 16 {
+		return config{}, fmt.Errorf("-dims %d out of range [1,16]", cfg.dims)
+	}
+	if cfg.zipfS <= 1 {
+		return config{}, fmt.Errorf("-zipf-s must be > 1, got %g", cfg.zipfS)
+	}
+	return cfg, nil
+}
+
+// buildCube materializes the synthetic base cube. With mutations in the
+// mix the cube is built on the durable ingest path (WAL in a scratch
+// dir), so appends exercise the same logging and commit barrier as
+// production writes.
+func buildCube(cfg config) (*icebergcube.Materialized, func(), error) {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	names := make([]string, cfg.dims)
+	for i := range names {
+		names[i] = fmt.Sprintf("D%d", i)
+	}
+	rows := make([][]string, cfg.rows)
+	meas := make([]float64, cfg.rows)
+	for r := range rows {
+		row := make([]string, cfg.dims)
+		for d := range row {
+			row[d] = fmt.Sprintf("v%02d", rng.Intn(cfg.card))
+		}
+		rows[r] = row
+		meas[r] = float64(rng.Intn(1000))
+	}
+	ds, err := icebergcube.FromRows(names, rows, meas)
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() {}
+	var m *icebergcube.Materialized
+	if cfg.mutateEvery > 0 && !cfg.sweep {
+		dir, err := os.MkdirTemp("", "cubewarp-wal-")
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanup = func() { os.RemoveAll(dir) }
+		m, err = icebergcube.MaterializeDurable(ds, names, 4, dir)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+	} else {
+		m, err = icebergcube.Materialize(ds, names, 4)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if cfg.budget != 0 {
+		m.SetCacheBudget(cfg.budget)
+	}
+	return m, cleanup, nil
+}
+
+// selfHost serves srv on a loopback listener and returns the base URL, a
+// client sized for the sweep, and a shutdown func.
+func selfHost(srv *httpserve.Server) (string, *http.Client, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), client, stop, nil
+}
+
+// lattice enumerates every group-by of the cube (including the ALL
+// cell) and shuffles it by seed, so Zipf rank 0 is a random cuboid, not
+// always the same one.
+func latticeGroupBys(attrs []string, seed int64) [][]string {
+	n := len(attrs)
+	out := make([][]string, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var gb []string
+		for d := 0; d < n; d++ {
+			if mask&(1<<d) != 0 {
+				gb = append(gb, attrs[d])
+			}
+		}
+		out = append(out, gb)
+	}
+	rng := rand.New(rand.NewSource(seed * 7919))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func queryURL(base string, gb []string, minsup int64) string {
+	u := base + "/v1/query?min_support=" + strconv.FormatInt(minsup, 10)
+	if len(gb) > 0 {
+		u += "&group_by=" + strings.Join(gb, ",")
+	}
+	return u
+}
+
+// verifyBody decodes a live response and checks it cell-for-cell
+// against the in-process oracle at the version the response declares.
+func verifyBody(m *icebergcube.Materialized, body []byte) error {
+	var resp httpserve.QueryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return fmt.Errorf("undecodable response: %v", err)
+	}
+	want, _, err := m.AnswerStatsAt(resp.Version, resp.GroupBy, resp.MinSupport)
+	if err != nil {
+		return fmt.Errorf("oracle at v%d: %v", resp.Version, err)
+	}
+	if len(resp.Cells) != len(want) {
+		return fmt.Errorf("v%d %v: %d cells on the wire, oracle has %d",
+			resp.Version, resp.GroupBy, len(resp.Cells), len(want))
+	}
+	for i, c := range want {
+		w := resp.Cells[i]
+		if len(w.Values) != len(c.Values) || w.Count != c.Count || w.Sum != c.Sum ||
+			w.Min != c.Min || w.Max != c.Max || w.Avg != c.Avg {
+			return fmt.Errorf("v%d %v cell %d: wire %+v oracle %+v", resp.Version, resp.GroupBy, i, w, c)
+		}
+		for j := range w.Values {
+			if w.Values[j] != c.Values[j] {
+				return fmt.Errorf("v%d %v cell %d: wire %+v oracle %+v", resp.Version, resp.GroupBy, i, w, c)
+			}
+		}
+	}
+	return nil
+}
+
+// phaseStats is one phase×concurrency measurement.
+type phaseStats struct {
+	queries  int
+	mutates  int
+	verified int
+	lats     []int64 // per-query ns, unsorted
+	derives  int64
+}
+
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runPhase drives ops operations at the given concurrency. Workers pick
+// group-bys Zipf-distributed over the shuffled lattice; every
+// mutateEvery'th op (per worker) is a durable append+commit through
+// POST /v1/mutate instead of a query.
+func runPhase(cfg config, workers int, base string, client *http.Client,
+	srv *httpserve.Server, m *icebergcube.Materialized, gbs [][]string, phaseSeed int64) (phaseStats, error) {
+
+	derives0 := srv.Metrics().Derivations
+	perWorker := cfg.ops / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+
+	var (
+		mu  sync.Mutex
+		st  phaseStats
+		err error
+	)
+	fail := func(e error) {
+		mu.Lock()
+		if err == nil {
+			err = e
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(phaseSeed + int64(w)*1_000_003))
+			zipf := rand.NewZipf(rng, cfg.zipfS, 4, uint64(len(gbs)-1))
+			lats := make([]int64, 0, perWorker)
+			queries, mutates, verified := 0, 0, 0
+			for op := 0; op < perWorker; op++ {
+				if cfg.mutateEvery > 0 && op%cfg.mutateEvery == cfg.mutateEvery-1 {
+					if e := mutate(cfg, base, client, rng); e != nil {
+						fail(e)
+						return
+					}
+					mutates++
+					continue
+				}
+				gb := gbs[zipf.Uint64()]
+				t0 := time.Now()
+				resp, e := client.Get(queryURL(base, gb, cfg.minsup))
+				if e != nil {
+					fail(e)
+					return
+				}
+				body, e := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if e != nil {
+					fail(e)
+					return
+				}
+				lats = append(lats, time.Since(t0).Nanoseconds())
+				if resp.StatusCode != 200 {
+					fail(fmt.Errorf("query %v: status %d: %s", gb, resp.StatusCode, body))
+					return
+				}
+				queries++
+				if cfg.verifyEvery > 0 && queries%cfg.verifyEvery == 0 {
+					if e := verifyBody(m, body); e != nil {
+						fail(fmt.Errorf("DIFFERENTIAL MISMATCH: %v", e))
+						return
+					}
+					verified++
+				}
+			}
+			mu.Lock()
+			st.queries += queries
+			st.mutates += mutates
+			st.verified += verified
+			st.lats = append(st.lats, lats...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if err != nil {
+		return phaseStats{}, err
+	}
+	st.derives = srv.Metrics().Derivations - derives0
+	return st, nil
+}
+
+func mutate(cfg config, base string, client *http.Client, rng *rand.Rand) error {
+	row := make([]string, cfg.dims)
+	for d := range row {
+		row[d] = fmt.Sprintf("v%02d", rng.Intn(cfg.card))
+	}
+	req := httpserve.MutateRequest{
+		Appends: []httpserve.MutateRow{{Values: row, Measure: float64(rng.Intn(1000))}},
+		Commit:  true,
+	}
+	body, _ := json.Marshal(&req)
+	resp, err := client.Post(base+"/v1/mutate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("mutate: status %d: %s", resp.StatusCode, b)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// streamSmoke pulls the full leaf cuboid through the streaming path once
+// per phase and checks the trailer count — a cheap end-to-end proof the
+// chunked path works under the same load conditions.
+func streamSmoke(base string, client *http.Client, attrs []string, minsup int64) error {
+	resp, err := client.Get(queryURL(base, attrs, minsup) + "&stream=1")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	if len(lines) < 2 {
+		return fmt.Errorf("stream: %d lines, want header+trailer at least", len(lines))
+	}
+	var tr httpserve.StreamTrailer
+	if err := json.Unmarshal(lines[len(lines)-1], &tr); err != nil {
+		return fmt.Errorf("stream trailer: %v", err)
+	}
+	if got := len(lines) - 2; got != tr.Cells {
+		return fmt.Errorf("stream: %d cell lines but trailer says %d", got, tr.Cells)
+	}
+	return nil
+}
+
+func emit(w io.Writer, name string, st phaseStats) {
+	sort.Slice(st.lats, func(i, j int) bool { return st.lats[i] < st.lats[j] })
+	var sum int64
+	for _, l := range st.lats {
+		sum += l
+	}
+	mean := float64(0)
+	if len(st.lats) > 0 {
+		mean = float64(sum) / float64(len(st.lats))
+	}
+	dpq := float64(0)
+	if st.queries > 0 {
+		dpq = float64(st.derives) / float64(st.queries)
+	}
+	fmt.Fprintf(w, "%s\t%8d\t%.0f ns/op\t%.0f p50-ns\t%.0f p99-ns\t%.0f p999-ns\t%.4f derives/query\n",
+		name, st.queries, mean,
+		float64(percentile(st.lats, 0.50)),
+		float64(percentile(st.lats, 0.99)),
+		float64(percentile(st.lats, 0.999)),
+		dpq)
+}
+
+func run(w io.Writer, argv []string) error {
+	cfg, err := parseArgs(argv)
+	if err != nil {
+		return err
+	}
+	m, cleanup, err := buildCube(cfg)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	if cfg.sweep {
+		return sweepBatching(w, cfg, m)
+	}
+
+	srv := httpserve.New(httpserve.Config{
+		Backend:        httpserve.Warm(m),
+		BatchWindow:    cfg.window,
+		AllowMutations: cfg.mutateEvery > 0,
+	})
+	base, client, stop, err := selfHost(srv)
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	gbs := latticeGroupBys(m.Attrs(), cfg.seed)
+	totalVerified := 0
+	for _, workers := range cfg.conc {
+		for _, phase := range []string{"cold", "warm"} {
+			if phase == "cold" {
+				resp, err := client.Post(base+"/v1/reset", "application/json", nil)
+				if err != nil {
+					return err
+				}
+				resp.Body.Close()
+			}
+			st, err := runPhase(cfg, workers, base, client, srv, m, gbs,
+				cfg.seed+int64(workers)*31+int64(len(phase)))
+			if err != nil {
+				return err
+			}
+			if err := streamSmoke(base, client, m.Attrs(), cfg.minsup); err != nil {
+				return err
+			}
+			emit(w, fmt.Sprintf("BenchmarkCubewarp/phase=%s/conc=%d", phase, workers), st)
+			totalVerified += st.verified
+		}
+	}
+	if cfg.verifyEvery > 0 && totalVerified == 0 {
+		return fmt.Errorf("differential never ran: 0 responses verified")
+	}
+	sm := srv.Metrics()
+	fmt.Fprintf(w, "# cubewarp: verified=%d batches=%d joined=%d shed=%d version=%d\n",
+		totalVerified, sm.Batch.Batches, sm.Batch.Joined,
+		sm.Admission.ShedQueueFull+sm.Admission.ShedTenantRate, sm.Version)
+	return nil
+}
+
+// sweepBatching fires rounds of identical concurrent queries against a
+// cache too small to retain anything, once with the batching window off
+// and once on, and asserts the batched server does strictly fewer
+// derivations per query while every body matches the in-process
+// encoding byte for byte.
+func sweepBatching(w io.Writer, cfg config, m *icebergcube.Materialized) error {
+	const (
+		concurrent = 64
+		rounds     = 4
+	)
+	m.SetCacheBudget(1) // nothing is retained: every un-coalesced query derives
+
+	// Query a strict ancestor of the leaf: the leaf itself is pinned and
+	// would serve every request as a cache hit, deriving nothing in either
+	// mode.
+	attrs := m.Attrs()
+	if len(attrs) > 1 {
+		attrs = attrs[:len(attrs)-1]
+	}
+	want, err := httpserve.EncodeQuery(context.Background(), httpserve.Warm(m), attrs, cfg.minsup)
+	if err != nil {
+		return err
+	}
+
+	window := cfg.window
+	if window <= 0 {
+		window = 5 * time.Millisecond
+	}
+	dpq := map[string]float64{}
+	for _, mode := range []struct {
+		name   string
+		window time.Duration
+	}{{"off", 0}, {"on", window}} {
+		srv := httpserve.New(httpserve.Config{Backend: httpserve.Warm(m), BatchWindow: mode.window})
+		base, client, stop, err := selfHost(srv)
+		if err != nil {
+			return err
+		}
+		derives0 := srv.Metrics().Derivations
+		st := phaseStats{}
+		var latMu sync.Mutex
+		url := queryURL(base, attrs, cfg.minsup)
+		for r := 0; r < rounds; r++ {
+			var wg sync.WaitGroup
+			errs := make(chan error, concurrent)
+			for i := 0; i < concurrent; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					// Stagger arrivals across a span shorter than the window
+					// but much longer than one derivation: with batching off
+					// nearly every arrival misses the in-flight computation
+					// and derives again; with batching on they all share the
+					// leader's window.
+					time.Sleep(time.Duration(i%16) * 100 * time.Microsecond)
+					t0 := time.Now()
+					resp, err := client.Get(url)
+					if err != nil {
+						errs <- err
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !bytes.Equal(body, want) {
+						errs <- fmt.Errorf("mode=%s: response differs from in-process encoding", mode.name)
+						return
+					}
+					latMu.Lock()
+					st.lats = append(st.lats, time.Since(t0).Nanoseconds())
+					latMu.Unlock()
+					errs <- nil
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				if e != nil {
+					stop()
+					return e
+				}
+			}
+			st.queries += concurrent
+		}
+		st.derives = srv.Metrics().Derivations - derives0
+		stop()
+		dpq[mode.name] = float64(st.derives) / float64(st.queries)
+		emit(w, fmt.Sprintf("BenchmarkCubewarpBatch/mode=%s/conc=%d", mode.name, concurrent), st)
+	}
+	fmt.Fprintf(w, "# batching sweep: off=%.4f on=%.4f derives/query (%d identical concurrent queries, byte-identical responses)\n",
+		dpq["off"], dpq["on"], concurrent)
+	if dpq["on"] >= dpq["off"] {
+		return fmt.Errorf("batching did not reduce derivations/query: on=%.4f off=%.4f", dpq["on"], dpq["off"])
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunPhaseSweep: a short end-to-end run self-hosts the server,
+// drives both phases at two concurrency levels with mutations in the
+// mix, verifies a sample of responses against the oracle, and emits
+// parseable bench lines.
+func TestRunPhaseSweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, []string{
+		"-ops", "200", "-conc", "2,8", "-rows", "600", "-dims", "3", "-card", "5",
+		"-mutate-every", "25", "-verify-every", "4", "-batch-window", "500us",
+	})
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"BenchmarkCubewarp/phase=cold/conc=2",
+		"BenchmarkCubewarp/phase=warm/conc=2",
+		"BenchmarkCubewarp/phase=cold/conc=8",
+		"BenchmarkCubewarp/phase=warm/conc=8",
+		"p50-ns", "p99-ns", "p999-ns", "derives/query",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+	// The differential must actually have run.
+	if !strings.Contains(text, "verified=") || strings.Contains(text, "verified=0 ") {
+		t.Fatalf("no differential verification in:\n%s", text)
+	}
+	// Mutations advanced the version past the base snapshot.
+	if strings.Contains(text, "version=1\n") {
+		t.Fatalf("mutation mix never committed:\n%s", text)
+	}
+}
+
+// TestRunSweepBatching: the identical-query experiment must show
+// batching strictly reducing derivations/query (run() errors otherwise)
+// with byte-identical responses (ditto).
+func TestRunSweepBatching(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, []string{
+		"-sweep-batching", "-rows", "600", "-dims", "3", "-card", "5",
+	})
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "BenchmarkCubewarpBatch/mode=off/conc=64") ||
+		!strings.Contains(text, "BenchmarkCubewarpBatch/mode=on/conc=64") {
+		t.Fatalf("missing sweep lines:\n%s", text)
+	}
+}
+
+// TestBadFlags: invalid flag combinations fail fast with an error, not
+// a hung or half-run sweep.
+func TestBadFlags(t *testing.T) {
+	for _, argv := range [][]string{
+		{"-conc", "0"},
+		{"-conc", "abc"},
+		{"-zipf-s", "0.5"},
+		{"-dims", "40"},
+	} {
+		if err := run(&bytes.Buffer{}, argv); err == nil {
+			t.Fatalf("argv %v: no error", argv)
+		}
+	}
+}

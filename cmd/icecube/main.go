@@ -30,37 +30,118 @@
 // The CSV needs a header; every column but the last is a dimension, the
 // last column is the numeric measure. With -synthetic N the paper's
 // weather-like workload is generated instead (20 dimensions, N tuples).
+//
+// With -http the process stays up as the network serving front-end over
+// whichever tier the other flags select (warm in-memory, durable with
+// -waldir, cold with an existing -segdir), with admission control and
+// identical-query batching from internal/httpserve:
+//
+//	icecube -input sales.csv -http :8080
+//	icecube -input sales.csv -waldir /var/lib/icecube/wal -http :8080 -batch-window 2ms
+//	icecube -segdir /var/lib/icecube/cube -http :8080
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	icebergcube "icebergcube"
+	"icebergcube/internal/httpserve"
 )
+
+// options mirrors the flag set so validation is a pure, testable
+// function of the parsed values.
+type options struct {
+	input, dims, algo, cuboid     string
+	waldir, policy, segdir, httpA string
+	synthetic, workers, cores     int
+	limit                         int
+	seed, minsup, memlimit        int64
+	parallel, stats               bool
+	batchWindow                   time.Duration
+}
+
+// validateFlags rejects flag combinations that would otherwise be
+// silently ignored or pick a surprising mode, before any data is loaded
+// or any directory touched. The returned error is the usage message.
+func validateFlags(o options) error {
+	if o.memlimit > 0 && o.segdir == "" {
+		return fmt.Errorf("-memlimit only applies to the out-of-core computation over a segment table: add -segdir DIR")
+	}
+	if o.policy != "" && o.policy != string(icebergcube.CacheLRU) && o.waldir == "" && o.httpA == "" {
+		return fmt.Errorf("-policy %s needs a serving mode: add -waldir DIR or -http ADDR", o.policy)
+	}
+	if o.waldir != "" && o.segdir != "" {
+		return fmt.Errorf("-waldir and -segdir select different storage tiers: pass one")
+	}
+	if o.batchWindow != 0 && o.httpA == "" {
+		return fmt.Errorf("-batch-window only applies to the HTTP front-end: add -http ADDR")
+	}
+	if o.batchWindow < 0 {
+		return fmt.Errorf("-batch-window must be >= 0, got %v", o.batchWindow)
+	}
+	if o.httpA != "" && o.memlimit > 0 {
+		return fmt.Errorf("-http serves queries; the out-of-core computation (-memlimit) is a batch run — drop one")
+	}
+	if o.algo != "" && (o.waldir != "" || o.httpA != "") {
+		return fmt.Errorf("-algo selects a one-shot computation algorithm; the serving modes (-waldir, -http) always serve from the materialized leaf")
+	}
+	if o.parallel && (o.waldir != "" || o.segdir != "" || o.httpA != "") {
+		return fmt.Errorf("-parallel only applies to the one-shot cluster computation")
+	}
+	if o.input != "" && o.synthetic > 0 {
+		return fmt.Errorf("pass -input FILE or -synthetic N, not both")
+	}
+	if o.minsup < 1 {
+		return fmt.Errorf("-minsup must be >= 1, got %d", o.minsup)
+	}
+	return nil
+}
 
 func main() {
 	var (
-		input     = flag.String("input", "", "CSV file (header; last column = measure)")
-		synthetic = flag.Int("synthetic", 0, "generate the weather-like workload with this many tuples instead of reading CSV")
-		seed      = flag.Int64("seed", 2001, "synthetic-data seed")
-		dims      = flag.String("dims", "", "comma-separated cube dimensions (default: all)")
-		minsup    = flag.Int64("minsup", 1, "iceberg threshold: HAVING COUNT(*) >= minsup")
-		algo      = flag.String("algo", "", "algorithm: RP, BPP, ASL, PT, AHT (default: recipe recommendation)")
-		workers   = flag.Int("workers", 8, "number of simulated cluster nodes")
-		parallel  = flag.Bool("parallel", false, "run workers on real goroutines")
-		cores     = flag.Int("cores", 1, "intra-worker execution-pool width (wall clock only; results identical)")
-		cuboid    = flag.String("cuboid", "", "print this group-by's cells (comma-separated attributes; empty = summary only)")
-		limit     = flag.Int("limit", 20, "max cells to print")
-		stats     = flag.Bool("stats", false, "print per-worker simulated loads; with -waldir, dump cache metrics and the per-cuboid stats table after the serve run")
-		waldir    = flag.String("waldir", "", "serve durably: write-ahead log directory (created, or recovered from if it already holds a log)")
-		policy    = flag.String("policy", "lru", "serving-cache admission policy with -waldir: lru or adaptive")
-		segdir    = flag.String("segdir", "", "columnar segment directory: flush the cube there (with -input/-synthetic), or serve/compute from an existing table")
-		memlimit  = flag.Int64("memlimit", 0, "with -segdir: compute the cube out-of-core under this resident-byte budget instead of serving")
+		input       = flag.String("input", "", "CSV file (header; last column = measure)")
+		synthetic   = flag.Int("synthetic", 0, "generate the weather-like workload with this many tuples instead of reading CSV")
+		seed        = flag.Int64("seed", 2001, "synthetic-data seed")
+		dims        = flag.String("dims", "", "comma-separated cube dimensions (default: all)")
+		minsup      = flag.Int64("minsup", 1, "iceberg threshold: HAVING COUNT(*) >= minsup")
+		algo        = flag.String("algo", "", "algorithm: RP, BPP, ASL, PT, AHT (default: recipe recommendation)")
+		workers     = flag.Int("workers", 8, "number of simulated cluster nodes")
+		parallel    = flag.Bool("parallel", false, "run workers on real goroutines")
+		cores       = flag.Int("cores", 1, "intra-worker execution-pool width (wall clock only; results identical)")
+		cuboid      = flag.String("cuboid", "", "print this group-by's cells (comma-separated attributes; empty = summary only)")
+		limit       = flag.Int("limit", 20, "max cells to print")
+		stats       = flag.Bool("stats", false, "print per-worker simulated loads; with -waldir, dump cache metrics and the per-cuboid stats table after the serve run")
+		waldir      = flag.String("waldir", "", "serve durably: write-ahead log directory (created, or recovered from if it already holds a log)")
+		policy      = flag.String("policy", "lru", "serving-cache admission policy with -waldir or -http: lru or adaptive")
+		segdir      = flag.String("segdir", "", "columnar segment directory: flush the cube there (with -input/-synthetic), or serve/compute from an existing table")
+		memlimit    = flag.Int64("memlimit", 0, "with -segdir: compute the cube out-of-core under this resident-byte budget instead of serving")
+		httpAddr    = flag.String("http", "", "serve the HTTP front-end on this address (e.g. :8080) instead of a one-shot run")
+		batchWindow = flag.Duration("batch-window", 0, "with -http: identical-query batching window (0 = off)")
 	)
 	flag.Parse()
+
+	opts := options{
+		input: *input, dims: *dims, algo: *algo, cuboid: *cuboid,
+		waldir: *waldir, policy: *policy, segdir: *segdir, httpA: *httpAddr,
+		synthetic: *synthetic, workers: *workers, cores: *cores, limit: *limit,
+		seed: *seed, minsup: *minsup, memlimit: *memlimit,
+		parallel: *parallel, stats: *stats, batchWindow: *batchWindow,
+	}
+	if err := validateFlags(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "icecube:", err)
+		fmt.Fprintln(os.Stderr, "run icecube -h for the full flag reference")
+		os.Exit(2)
+	}
+
+	if *httpAddr != "" {
+		serveHTTP(opts)
+		return
+	}
 
 	if *segdir != "" && hasManifest(*segdir) {
 		// An existing table needs no input data: either compute the cube
@@ -141,6 +222,77 @@ func main() {
 			}
 			fmt.Printf("  %s\n", c)
 		}
+	}
+}
+
+// serveHTTP runs the network front-end over whichever tier the flags
+// select: an existing -segdir serves cold (read-only), -waldir serves
+// the durable warm engine with mutations enabled, and plain input data
+// serves an in-memory materialization (read-only — nothing would
+// survive a restart).
+func serveHTTP(o options) {
+	var backend httpserve.Backend
+	allowMut := false
+	switch {
+	case o.segdir != "" && hasManifest(o.segdir):
+		cold, err := icebergcube.OpenCold(o.segdir, 0)
+		if err != nil {
+			fatal(err)
+		}
+		backend = httpserve.Cold(cold)
+		fmt.Printf("serving cold table %s: %d rows, dims %s\n",
+			o.segdir, cold.Rows(), strings.Join(cold.Attrs(), ","))
+	default:
+		ds, err := load(o.input, o.synthetic, o.seed)
+		if err != nil {
+			fatal(err)
+		}
+		var dimList []string
+		if o.dims != "" {
+			dimList = strings.Split(o.dims, ",")
+		} else if o.synthetic > 0 {
+			dimList = ds.PickDimsByCardinalityProduct(9, 13)
+		}
+		var m *icebergcube.Materialized
+		if o.waldir != "" {
+			var recovered bool
+			m, recovered, err = icebergcube.OpenDurable(ds, dimList, o.workers, o.waldir)
+			if err != nil {
+				fatal(err)
+			}
+			defer m.Close()
+			allowMut = true
+			verb := "materialized"
+			if recovered {
+				verb = "recovered"
+			}
+			fmt.Printf("%s durable cube in %s (v%d, %d leaf cells), mutations enabled\n",
+				verb, o.waldir, m.Version(), m.NumCells())
+		} else {
+			m, err = icebergcube.Materialize(ds, dimList, o.workers)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("materialized in-memory cube (v%d, %d leaf cells), read-only\n",
+				m.Version(), m.NumCells())
+		}
+		if o.policy != "" && o.policy != string(icebergcube.CacheLRU) {
+			if err := m.SetCachePolicy(icebergcube.CachePolicyConfig{Policy: icebergcube.CachePolicy(o.policy)}); err != nil {
+				fatal(err)
+			}
+		}
+		backend = httpserve.Warm(m)
+	}
+
+	srv := httpserve.New(httpserve.Config{
+		Backend:        backend,
+		BatchWindow:    o.batchWindow,
+		AllowMutations: allowMut,
+	})
+	fmt.Printf("listening on %s (batch window %v; GET /v1/query, /v1/dims, /v1/metrics, /healthz)\n",
+		o.httpA, o.batchWindow)
+	if err := http.ListenAndServe(o.httpA, srv); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,188 @@
+package httpserve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Admission bounds how much concurrent query work the front-end accepts.
+// Requests pass three gates in order:
+//
+//  1. a per-tenant token bucket — tenants over their sustained rate are
+//     shed immediately with 429 and X-Shed-Reason: tenant-rate;
+//  2. a bounded wait queue — when every execution slot is busy and the
+//     queue is full, the request is shed immediately with 429 and
+//     X-Shed-Reason: queue-full (fast shedding: an overloaded server
+//     answers in microseconds instead of accumulating latency);
+//  3. an execution slot — at most MaxConcurrent queries run at once;
+//     queued requests wait for a slot or their context, whichever first.
+//
+// The zero Config disables a gate by leaving its limit at 0.
+type AdmissionConfig struct {
+	// MaxConcurrent caps queries executing at once (≤ 0 = 64).
+	MaxConcurrent int
+	// MaxQueue caps queries waiting for a slot beyond MaxConcurrent
+	// (< 0 = 0, i.e. shed as soon as all slots are busy; 0 = 256).
+	MaxQueue int
+	// TenantRate is each tenant's sustained queries/second (≤ 0 disables
+	// per-tenant quotas). Tenants are identified by the X-Tenant header
+	// ("" is a tenant like any other).
+	TenantRate float64
+	// TenantBurst is each tenant's bucket capacity (≤ 0 = max(1, rate)).
+	TenantBurst float64
+}
+
+// ShedReason says which admission gate rejected a request.
+type ShedReason string
+
+const (
+	ShedNone       ShedReason = ""
+	ShedTenantRate ShedReason = "tenant-rate"
+	ShedQueueFull  ShedReason = "queue-full"
+)
+
+// AdmissionMetrics are an admission controller's cumulative counters.
+type AdmissionMetrics struct {
+	Admitted       int64 `json:"admitted"`
+	ShedTenantRate int64 `json:"shed_tenant_rate"`
+	ShedQueueFull  int64 `json:"shed_queue_full"`
+	AbandonedWait  int64 `json:"abandoned_wait"`
+	// InFlight and Queued are instantaneous gauges.
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+}
+
+// tokenBucket is a classic leaky token bucket refilled on demand.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+type admission struct {
+	cfg AdmissionConfig
+
+	slots chan struct{} // execution slots; len = in-flight
+
+	mu       sync.Mutex
+	buckets  map[string]*tokenBucket
+	queued   int
+	admitted int64
+	shedRate int64
+	shedFull int64
+	abandon  int64
+
+	// now is stubbed by tests for deterministic bucket refills.
+	now func() time.Time
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 64
+	}
+	switch {
+	case cfg.MaxQueue < 0:
+		cfg.MaxQueue = 0
+	case cfg.MaxQueue == 0:
+		cfg.MaxQueue = 256
+	}
+	if cfg.TenantRate > 0 && cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = cfg.TenantRate
+		if cfg.TenantBurst < 1 {
+			cfg.TenantBurst = 1
+		}
+	}
+	return &admission{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.MaxConcurrent),
+		buckets: map[string]*tokenBucket{},
+		now:     time.Now,
+	}
+}
+
+// admit runs the three gates. On ShedNone with a nil error the caller
+// holds an execution slot and must call release when done.
+func (a *admission) admit(ctx context.Context, tenant string) (ShedReason, error) {
+	if !a.takeToken(tenant) {
+		a.mu.Lock()
+		a.shedRate++
+		a.mu.Unlock()
+		return ShedTenantRate, nil
+	}
+
+	// Fast path: a slot is free right now.
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.admitted++
+		a.mu.Unlock()
+		return ShedNone, nil
+	default:
+	}
+
+	// All slots busy: join the bounded queue or shed.
+	a.mu.Lock()
+	if a.queued >= a.cfg.MaxQueue {
+		a.shedFull++
+		a.mu.Unlock()
+		return ShedQueueFull, nil
+	}
+	a.queued++
+	a.mu.Unlock()
+
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.queued--
+		a.admitted++
+		a.mu.Unlock()
+		return ShedNone, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.queued--
+		a.abandon++
+		a.mu.Unlock()
+		return ShedNone, ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+func (a *admission) takeToken(tenant string) bool {
+	if a.cfg.TenantRate <= 0 {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[tenant]
+	now := a.now()
+	if b == nil {
+		b = &tokenBucket{tokens: a.cfg.TenantBurst, last: now}
+		a.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * a.cfg.TenantRate
+		if b.tokens > a.cfg.TenantBurst {
+			b.tokens = a.cfg.TenantBurst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+func (a *admission) metrics() AdmissionMetrics {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionMetrics{
+		Admitted:       a.admitted,
+		ShedTenantRate: a.shedRate,
+		ShedQueueFull:  a.shedFull,
+		AbandonedWait:  a.abandon,
+		InFlight:       len(a.slots),
+		Queued:         a.queued,
+	}
+}

@@ -1,0 +1,158 @@
+package httpserve
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"time"
+)
+
+// batcher coalesces identical concurrent queries above the serving
+// layer's singleflight. Singleflight only shares work with queries that
+// arrive while a derivation is already in flight; the batcher holds the
+// FIRST arrival open for a short window so every identical query landing
+// inside the window — including ones that arrive before any derivation
+// has started — shares one backend call and one encoded response buffer.
+//
+// Keys are (canonical group-by, min-support, snapshot version): queries
+// differing only in requested attribute order batch together, and a
+// commit between windows naturally splits batches so no one is served a
+// stale version's bytes.
+//
+// The leader (first arrival) starts a timer; followers joining before it
+// fires just wait. When the timer fires, the batch unregisters itself —
+// later arrivals open a new batch — and the leader derives + encodes
+// once, then fans the buffer out. Members that abandoned (context
+// cancelled) are skipped; if every member abandoned before the window
+// closed, the derivation itself is skipped.
+type batcher struct {
+	window time.Duration
+	run    func(ctx context.Context, groupBy []string, minSupport int64) ([]byte, error)
+
+	mu      sync.Mutex
+	pending map[batchKey]*batch
+
+	// Cumulative counters.
+	batches  int64 // windows that closed with ≥1 live member
+	joined   int64 // requests that entered any batch (leaders + followers)
+	skipped  int64 // windows whose every member abandoned before close
+	maxBatch int64 // largest batch fanned out so far
+}
+
+type batchKey struct {
+	groupBy    string // canonical order, comma-joined
+	minSupport int64
+	version    uint64
+}
+
+type batch struct {
+	done    chan struct{} // closed after body/err are set
+	body    []byte
+	err     error
+	members int64
+	left    int64 // members that abandoned before the window closed
+	mu      sync.Mutex
+}
+
+// BatchMetrics are the batcher's cumulative counters.
+type BatchMetrics struct {
+	// Batches counts windows that closed and ran one derivation; Joined
+	// counts every request that entered a window. Joined/Batches is the
+	// mean fan-out — the batching win.
+	Batches int64 `json:"batches"`
+	Joined  int64 `json:"joined"`
+	// Skipped counts windows whose members all abandoned, so no backend
+	// call was made at all.
+	Skipped  int64 `json:"skipped"`
+	MaxBatch int64 `json:"max_batch"`
+}
+
+func newBatcher(window time.Duration, run func(ctx context.Context, groupBy []string, minSupport int64) ([]byte, error)) *batcher {
+	return &batcher{window: window, run: run, pending: map[batchKey]*batch{}}
+}
+
+func keyOf(canonical []string, minSupport int64, version uint64) batchKey {
+	return batchKey{groupBy: strings.Join(canonical, ","), minSupport: minSupport, version: version}
+}
+
+// do answers (canonical, minSupport) through a batch window. canonical
+// must already be in canonical order. With a zero window the batcher is
+// pass-through.
+func (b *batcher) do(ctx context.Context, canonical []string, minSupport int64, version uint64) ([]byte, error) {
+	if b.window <= 0 {
+		return b.run(ctx, canonical, minSupport)
+	}
+	key := keyOf(canonical, minSupport, version)
+
+	b.mu.Lock()
+	bt := b.pending[key]
+	if bt != nil {
+		// Follower: share the open window.
+		bt.members++
+		b.joined++
+		b.mu.Unlock()
+		return b.wait(ctx, bt)
+	}
+	// Leader: open a window and arm its timer.
+	bt = &batch{done: make(chan struct{}), members: 1}
+	b.pending[key] = bt
+	b.joined++
+	b.mu.Unlock()
+
+	time.AfterFunc(b.window, func() { b.close(key, bt, canonical, minSupport) })
+	return b.wait(ctx, bt)
+}
+
+// close fires when a window's timer expires: unregister so later
+// arrivals start a fresh window, then derive once and fan out.
+func (b *batcher) close(key batchKey, bt *batch, canonical []string, minSupport int64) {
+	b.mu.Lock()
+	if b.pending[key] == bt {
+		delete(b.pending, key)
+	}
+	b.mu.Unlock()
+
+	bt.mu.Lock()
+	live := bt.members - bt.left
+	size := bt.members
+	bt.mu.Unlock()
+
+	if live <= 0 {
+		// Everyone hung up during the window; don't derive for no one.
+		b.mu.Lock()
+		b.skipped++
+		b.mu.Unlock()
+		close(bt.done)
+		return
+	}
+
+	// The derivation runs under its own context: the batch outlives any
+	// single member's request, and the serving layer's cancellation path
+	// must not abort work other members still want.
+	bt.body, bt.err = b.run(context.Background(), canonical, minSupport)
+	b.mu.Lock()
+	b.batches++
+	if size > b.maxBatch {
+		b.maxBatch = size
+	}
+	b.mu.Unlock()
+	close(bt.done)
+}
+
+func (b *batcher) wait(ctx context.Context, bt *batch) ([]byte, error) {
+	select {
+	case <-bt.done:
+		return bt.body, bt.err
+	case <-ctx.Done():
+		bt.mu.Lock()
+		bt.left++
+		bt.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+func (b *batcher) metrics() BatchMetrics {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BatchMetrics{Batches: b.batches, Joined: b.joined, Skipped: b.skipped, MaxBatch: b.maxBatch}
+}

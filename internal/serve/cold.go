@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -55,6 +56,7 @@ type ColdMetrics struct {
 	Queries              int64
 	CacheHits            int64
 	Coalesced            int64
+	Canceled             int64
 	ColdScans            int64
 	AncestorAggregations int64
 	RowsScanned          int64
@@ -85,6 +87,7 @@ type ColdServer struct {
 	queries     atomic.Int64
 	hits        atomic.Int64
 	coalesced   atomic.Int64
+	canceled    atomic.Int64
 	coldScans   atomic.Int64
 	ancAggs     atomic.Int64
 	rowsScanned atomic.Int64
@@ -134,8 +137,24 @@ func NewColdServer(src ColdSource, cards []int, budgetBytes int64) (*ColdServer,
 // Query returns the cuboid for group-by q (bit i = leaf dimension i). The
 // returned cuboid is immutable and remains valid after eviction.
 func (s *ColdServer) Query(q lattice.Mask) (*Cuboid, ColdQueryStats, error) {
+	return s.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query with caller cancellation. The context is checked at
+// entry, before this query becomes the singleflight leader, while waiting
+// on a coalesced in-flight computation, and — unlike the warm server —
+// between the chunks of a cold scan: a cold scan is the one serving
+// operation long enough to be worth tearing down mid-way, so an abandoned
+// client stops burning disk reads. A leader cancelled mid-scan fails its
+// flight; coalesced waiters observe that error and may re-issue the query
+// (the next call starts a fresh flight).
+func (s *ColdServer) QueryCtx(ctx context.Context, q lattice.Mask) (*Cuboid, ColdQueryStats, error) {
 	if !q.SubsetOf(s.full) {
 		return nil, ColdQueryStats{}, fmt.Errorf("serve: mask %b is not a subset of the leaf %b", q, s.full)
+	}
+	if err := ctx.Err(); err != nil {
+		s.canceled.Add(1)
+		return nil, ColdQueryStats{}, err
 	}
 	s.queries.Add(1)
 	stats := ColdQueryStats{Query: q, ServedFrom: q}
@@ -149,7 +168,12 @@ func (s *ColdServer) Query(q lattice.Mask) (*Cuboid, ColdQueryStats, error) {
 	s.mu.Lock()
 	if f, ok := s.inflight[q]; ok {
 		s.mu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			s.canceled.Add(1)
+			return nil, ColdQueryStats{}, ctx.Err()
+		}
 		if f.err != nil {
 			return nil, ColdQueryStats{}, f.err
 		}
@@ -158,22 +182,30 @@ func (s *ColdServer) Query(q lattice.Mask) (*Cuboid, ColdQueryStats, error) {
 		stats.Coalesced = true
 		return f.cub, stats, nil
 	}
+	if err := ctx.Err(); err != nil {
+		s.mu.Unlock()
+		s.canceled.Add(1)
+		return nil, ColdQueryStats{}, err
+	}
 	f := &coldFlight{done: make(chan struct{})}
 	s.inflight[q] = f
 	s.mu.Unlock()
 
-	cub, st, err := s.compute(q)
+	cub, st, err := s.compute(ctx, q)
 	f.cub, f.stats, f.err = cub, st, err
 	s.mu.Lock()
 	delete(s.inflight, q)
 	s.mu.Unlock()
 	close(f.done)
+	if err != nil && ctx.Err() != nil {
+		s.canceled.Add(1)
+	}
 	return cub, st, err
 }
 
 // compute answers a miss: from the smallest resident ancestor when one
 // covers q, from a streaming cold scan otherwise, and admits the result.
-func (s *ColdServer) compute(q lattice.Mask) (*Cuboid, ColdQueryStats, error) {
+func (s *ColdServer) compute(ctx context.Context, q lattice.Mask) (*Cuboid, ColdQueryStats, error) {
 	stats := ColdQueryStats{Query: q, ServedFrom: q}
 	gen := s.cache.generation()
 
@@ -203,7 +235,7 @@ func (s *ColdServer) compute(q lattice.Mask) (*Cuboid, ColdQueryStats, error) {
 		stats.ColdScan = true
 		var err error
 		var scanned int64
-		cub, scanned, err = s.coldScan(q, sc)
+		cub, scanned, err = s.coldScan(ctx, q, sc)
 		if err != nil {
 			return nil, ColdQueryStats{}, err
 		}
@@ -246,8 +278,9 @@ func (s *ColdServer) queryCards(q lattice.Mask) []int {
 // each chunk into a running sorted cuboid: chunk rows become a staging
 // cuboid, aggregateFrom sorts and merges them, and mergeCuboids folds the
 // result into the accumulator. Peak memory is the accumulated result plus
-// one chunk.
-func (s *ColdServer) coldScan(q lattice.Mask, sc *relation.Scratch) (*Cuboid, int64, error) {
+// one chunk. The context is checked before each chunk so an abandoned
+// query aborts the scan instead of reading the rest of the table.
+func (s *ColdServer) coldScan(ctx context.Context, q lattice.Mask, sc *relation.Scratch) (*Cuboid, int64, error) {
 	qDims := q.Dims()
 	w := len(qDims)
 	cards := s.queryCards(q)
@@ -258,6 +291,9 @@ func (s *ColdServer) coldScan(q lattice.Mask, sc *relation.Scratch) (*Cuboid, in
 	acc := &Cuboid{Mask: q, Width: w}
 	var scanned int64
 	err := s.src.Scan(qDims, func(cols [][]uint32, meas []float64) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n := len(meas)
 		if n == 0 {
 			return nil
@@ -383,6 +419,7 @@ func (s *ColdServer) Stats() ColdMetrics {
 	m.Queries = s.queries.Load()
 	m.CacheHits = s.hits.Load()
 	m.Coalesced = s.coalesced.Load()
+	m.Canceled = s.canceled.Load()
 	m.ColdScans = s.coldScans.Load()
 	m.AncestorAggregations = s.ancAggs.Load()
 	m.RowsScanned = s.rowsScanned.Load()

@@ -21,6 +21,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -91,6 +92,10 @@ type Metrics struct {
 	// Replans counts adaptive planning passes (query-count periodic and
 	// commit-triggered).
 	Replans int64
+	// Canceled counts queries abandoned by context cancellation before an
+	// answer was produced (at entry, while waiting on a coalesced flight,
+	// or before becoming the flight leader).
+	Canceled int64
 	// ResidentBytes / ResidentCuboids describe the cache's current
 	// occupancy (the pinned leaf is excluded). ResidentBytes ≤
 	// BudgetBytes always.
@@ -144,6 +149,7 @@ type Server struct {
 	queries    atomic.Int64
 	hits       atomic.Int64
 	coalesced  atomic.Int64
+	canceled   atomic.Int64
 	leafAggs   atomic.Int64
 	ancAggs    atomic.Int64
 	bgFills    atomic.Int64
@@ -245,8 +251,24 @@ func (s *Server) Handoff(next *Server) {
 // with how it was served. The returned cuboid is immutable and remains
 // valid after eviction.
 func (s *Server) Query(q lattice.Mask) (*Cuboid, QueryStats, error) {
+	return s.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query with caller cancellation: the context is checked at
+// entry, before this query becomes the singleflight leader for a miss,
+// and while waiting on a coalesced in-flight computation. Once a
+// computation has started it always runs to completion — it serves every
+// coalesced waiter and the cache, and an in-memory derivation is short —
+// so cancelling stops a query from *starting* aggregation work or from
+// blocking on someone else's, never tears a flight other queries depend
+// on.
+func (s *Server) QueryCtx(ctx context.Context, q lattice.Mask) (*Cuboid, QueryStats, error) {
 	if !q.SubsetOf(s.leaf.Mask) {
 		return nil, QueryStats{}, fmt.Errorf("serve: mask %b is not a subset of the leaf %b", q, s.leaf.Mask)
+	}
+	if err := ctx.Err(); err != nil {
+		s.canceled.Add(1)
+		return nil, QueryStats{}, err
 	}
 	s.queries.Add(1)
 	stats := QueryStats{Query: q, ServedFrom: q}
@@ -270,7 +292,12 @@ func (s *Server) Query(q lattice.Mask) (*Cuboid, QueryStats, error) {
 	s.mu.Lock()
 	if f, ok := s.inflight[q]; ok {
 		s.mu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			s.canceled.Add(1)
+			return nil, QueryStats{}, ctx.Err()
+		}
 		s.coalesced.Add(1)
 		stats = f.stats
 		stats.Coalesced = true
@@ -278,6 +305,12 @@ func (s *Server) Query(q lattice.Mask) (*Cuboid, QueryStats, error) {
 		s.stats.recordHit(q, f.cub.Rows(), f.cub.SizeBytes())
 		s.maybeReplan()
 		return f.cub, stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		// Last check before committing to the derivation.
+		s.mu.Unlock()
+		s.canceled.Add(1)
+		return nil, QueryStats{}, err
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[q] = f
@@ -608,6 +641,7 @@ func (s *Server) Stats() Metrics {
 	m.Queries = s.queries.Load()
 	m.CacheHits = s.hits.Load()
 	m.Coalesced = s.coalesced.Load()
+	m.Canceled = s.canceled.Load()
 	m.LeafAggregations = s.leafAggs.Load()
 	m.AncestorAggregations = s.ancAggs.Load()
 	m.Computes = m.LeafAggregations + m.AncestorAggregations

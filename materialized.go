@@ -1,6 +1,7 @@
 package icebergcube
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -144,6 +145,9 @@ type CacheMetrics struct {
 	Queries   int64
 	CacheHits int64
 	Coalesced int64
+	// Canceled counts queries abandoned by context cancellation before an
+	// answer was produced.
+	Canceled int64
 	// LeafAggregations and AncestorAggregations split the misses by
 	// source: full leaf rescans vs aggregations from a smaller cached
 	// ancestor.
@@ -388,6 +392,7 @@ func (m *Materialized) CacheMetrics() CacheMetrics {
 		out.Queries += s.Queries
 		out.CacheHits += s.CacheHits
 		out.Coalesced += s.Coalesced
+		out.Canceled += s.Canceled
 		out.LeafAggregations += s.LeafAggregations
 		out.AncestorAggregations += s.AncestorAggregations
 		out.Evictions += s.Evictions
@@ -576,7 +581,31 @@ func (m *Materialized) Answer(groupBy []string, minSupport int64) ([]Cell, error
 // AnswerStats is Answer plus serving observability: which resident cuboid
 // answered, whether it was a cache hit, and how many cells were scanned.
 func (m *Materialized) AnswerStats(groupBy []string, minSupport int64) ([]Cell, ServeStats, error) {
-	return m.answerView(m.cube.Current(), groupBy, minSupport)
+	return m.answerView(context.Background(), m.cube.Current(), groupBy, minSupport)
+}
+
+// AnswerCtx is Answer with caller cancellation: a cancelled context stops
+// the query before it starts (or blocks on) a cuboid derivation — the
+// network front-end plumbs each connection's context down here so
+// abandoned clients stop burning aggregation work.
+func (m *Materialized) AnswerCtx(ctx context.Context, groupBy []string, minSupport int64) ([]Cell, error) {
+	cells, _, err := m.AnswerStatsCtx(ctx, groupBy, minSupport)
+	return cells, err
+}
+
+// AnswerStatsCtx is AnswerCtx plus serving observability.
+func (m *Materialized) AnswerStatsCtx(ctx context.Context, groupBy []string, minSupport int64) ([]Cell, ServeStats, error) {
+	return m.answerView(ctx, m.cube.Current(), groupBy, minSupport)
+}
+
+// AnswerEach streams the qualifying cells of one group-by to yield, one
+// at a time in ascending value-tuple order, without materializing the
+// []Cell slice — the network front-end uses it to chunk large cuboids
+// straight onto the wire. A non-nil error from yield aborts the
+// iteration and is returned verbatim. The returned stats are the same as
+// AnswerStats.
+func (m *Materialized) AnswerEach(ctx context.Context, groupBy []string, minSupport int64, yield func(Cell) error) (ServeStats, error) {
+	return m.answerViewEach(ctx, m.cube.Current(), groupBy, minSupport, yield)
 }
 
 // AnswerAt is Answer pinned to a committed snapshot version — the
@@ -593,21 +622,35 @@ func (m *Materialized) AnswerStatsAt(version uint64, groupBy []string, minSuppor
 	if !ok {
 		return nil, ServeStats{}, fmt.Errorf("icebergcube: unknown snapshot version %d", version)
 	}
-	return m.answerView(v, groupBy, minSupport)
+	return m.answerView(context.Background(), v, groupBy, minSupport)
 }
 
 // answerView serves one group-by from one pinned snapshot.
-func (m *Materialized) answerView(v *ingest.View, groupBy []string, minSupport int64) ([]Cell, ServeStats, error) {
+func (m *Materialized) answerView(ctx context.Context, v *ingest.View, groupBy []string, minSupport int64) ([]Cell, ServeStats, error) {
+	cells := []Cell{}
+	stats, err := m.answerViewEach(ctx, v, groupBy, minSupport, func(c Cell) error {
+		cells = append(cells, c)
+		return nil
+	})
+	if err != nil {
+		return nil, ServeStats{}, err
+	}
+	return cells, stats, nil
+}
+
+// answerViewEach serves one group-by from one pinned snapshot, streaming
+// qualifying cells to yield instead of accumulating them.
+func (m *Materialized) answerViewEach(ctx context.Context, v *ingest.View, groupBy []string, minSupport int64, yield func(Cell) error) (ServeStats, error) {
 	if minSupport < 1 {
 		minSupport = 1
 	}
 	order, mask, err := m.resolveGroupBy(groupBy)
 	if err != nil {
-		return nil, ServeStats{}, err
+		return ServeStats{}, err
 	}
-	cub, qs, err := v.Srv.Query(mask)
+	cub, qs, err := v.Srv.QueryCtx(ctx, mask)
 	if err != nil {
-		return nil, ServeStats{}, err
+		return ServeStats{}, err
 	}
 	attrs := make([]string, len(order))
 	for i, p := range order {
@@ -622,7 +665,6 @@ func (m *Materialized) answerView(v *ingest.View, groupBy []string, minSupport i
 		Version:      v.Version,
 	}
 	cond := agg.MinSupport(minSupport)
-	cells := make([]Cell, 0, cub.Rows())
 	for i := 0; i < cub.Rows(); i++ {
 		st := cub.States[i]
 		if !cond.Holds(st) {
@@ -634,7 +676,7 @@ func (m *Materialized) answerView(v *ingest.View, groupBy []string, minSupport i
 				values[j] = m.decodeValue(order[j], c)
 			}
 		}
-		cells = append(cells, Cell{
+		cell := Cell{
 			Attrs:  attrs,
 			Values: values,
 			Count:  st.Count,
@@ -642,9 +684,12 @@ func (m *Materialized) answerView(v *ingest.View, groupBy []string, minSupport i
 			Min:    st.Value(agg.Min),
 			Max:    st.Value(agg.Max),
 			Avg:    st.Value(agg.Avg),
-		})
+		}
+		if err := yield(cell); err != nil {
+			return stats, err
+		}
 	}
-	return cells, stats, nil
+	return stats, nil
 }
 
 // maskAttrs renders a serving mask as attribute names.
@@ -744,3 +789,7 @@ func (m *Materialized) answerLeafRescan(groupBy []string, minSupport int64) ([]C
 
 // NumCells returns the current snapshot's leaf cell count.
 func (m *Materialized) NumCells() int { return m.cube.Current().Srv.Leaf().Rows() }
+
+// Attrs returns the materialized dimension names in cube order — the
+// same contract as ColdCube.Attrs.
+func (m *Materialized) Attrs() []string { return append([]string(nil), m.attrs...) }

@@ -1,6 +1,7 @@
 package icebergcube
 
 import (
+	"context"
 	"fmt"
 	"path"
 	"sync"
@@ -189,6 +190,7 @@ type ColdCacheMetrics struct {
 	Queries              int64
 	CacheHits            int64
 	Coalesced            int64
+	Canceled             int64
 	ColdScans            int64
 	AncestorAggregations int64
 	RowsScanned          int64
@@ -270,6 +272,34 @@ func (c *ColdCube) Answer(groupBy []string, minSupport int64) ([]Cell, error) {
 
 // AnswerStats is Answer plus cold-serving observability.
 func (c *ColdCube) AnswerStats(groupBy []string, minSupport int64) ([]Cell, ColdServeStats, error) {
+	return c.AnswerStatsCtx(context.Background(), groupBy, minSupport)
+}
+
+// AnswerCtx is Answer with caller cancellation: the context is checked
+// between the chunks of a cold scan, so an abandoned client stops burning
+// disk reads mid-table.
+func (c *ColdCube) AnswerCtx(ctx context.Context, groupBy []string, minSupport int64) ([]Cell, error) {
+	cells, _, err := c.AnswerStatsCtx(ctx, groupBy, minSupport)
+	return cells, err
+}
+
+// AnswerStatsCtx is AnswerCtx plus cold-serving observability.
+func (c *ColdCube) AnswerStatsCtx(ctx context.Context, groupBy []string, minSupport int64) ([]Cell, ColdServeStats, error) {
+	cells := []Cell{}
+	stats, err := c.AnswerEach(ctx, groupBy, minSupport, func(cell Cell) error {
+		cells = append(cells, cell)
+		return nil
+	})
+	if err != nil {
+		return nil, ColdServeStats{}, err
+	}
+	return cells, stats, nil
+}
+
+// AnswerEach streams the qualifying cells of one group-by to yield, one
+// at a time in ascending value-tuple order, without materializing the
+// []Cell slice — same contract as Materialized.AnswerEach.
+func (c *ColdCube) AnswerEach(ctx context.Context, groupBy []string, minSupport int64, yield func(Cell) error) (ColdServeStats, error) {
 	if minSupport < 1 {
 		minSupport = 1
 	}
@@ -277,24 +307,37 @@ func (c *ColdCube) AnswerStats(groupBy []string, minSupport int64) ([]Cell, Cold
 	for _, name := range groupBy {
 		p, ok := c.pos[name]
 		if !ok {
-			return nil, ColdServeStats{}, fmt.Errorf("icebergcube: %q is not a dimension of this table", name)
+			return ColdServeStats{}, fmt.Errorf("icebergcube: %q is not a dimension of this table", name)
 		}
 		if mask.Has(p) {
-			return nil, ColdServeStats{}, fmt.Errorf("icebergcube: duplicate group-by attribute %q", name)
+			return ColdServeStats{}, fmt.Errorf("icebergcube: duplicate group-by attribute %q", name)
 		}
 		mask |= 1 << uint(p)
 	}
-	cub, qs, err := c.srv.Query(mask)
+	cub, qs, err := c.srv.QueryCtx(ctx, mask)
 	if err != nil {
-		return nil, ColdServeStats{}, err
+		return ColdServeStats{}, err
 	}
 	order := mask.Dims()
 	attrs := make([]string, len(order))
 	for i, p := range order {
 		attrs[i] = c.attrs[p]
 	}
+	from := qs.ServedFrom.Dims()
+	fromAttrs := make([]string, len(from))
+	for i, p := range from {
+		fromAttrs[i] = c.attrs[p]
+	}
+	stats := ColdServeStats{
+		ServedFrom:   fromAttrs,
+		CacheHit:     qs.CacheHit,
+		Coalesced:    qs.Coalesced,
+		ColdScan:     qs.ColdScan,
+		RowsScanned:  qs.RowsScanned,
+		CellsScanned: qs.CellsScanned,
+		Admitted:     qs.Admitted,
+	}
 	cond := agg.MinSupport(minSupport)
-	cells := make([]Cell, 0, cub.Rows())
 	for i := 0; i < cub.Rows(); i++ {
 		st := cub.States[i]
 		if !cond.Holds(st) {
@@ -306,7 +349,7 @@ func (c *ColdCube) AnswerStats(groupBy []string, minSupport int64) ([]Cell, Cold
 				values[j] = c.ds.decode(order[j], code)
 			}
 		}
-		cells = append(cells, Cell{
+		cell := Cell{
 			Attrs:  attrs,
 			Values: values,
 			Count:  st.Count,
@@ -314,22 +357,12 @@ func (c *ColdCube) AnswerStats(groupBy []string, minSupport int64) ([]Cell, Cold
 			Min:    st.Value(agg.Min),
 			Max:    st.Value(agg.Max),
 			Avg:    st.Value(agg.Avg),
-		})
+		}
+		if err := yield(cell); err != nil {
+			return stats, err
+		}
 	}
-	from := qs.ServedFrom.Dims()
-	fromAttrs := make([]string, len(from))
-	for i, p := range from {
-		fromAttrs[i] = c.attrs[p]
-	}
-	return cells, ColdServeStats{
-		ServedFrom:   fromAttrs,
-		CacheHit:     qs.CacheHit,
-		Coalesced:    qs.Coalesced,
-		ColdScan:     qs.ColdScan,
-		RowsScanned:  qs.RowsScanned,
-		CellsScanned: qs.CellsScanned,
-		Admitted:     qs.Admitted,
-	}, nil
+	return stats, nil
 }
 
 // ResetCache drops every cached cuboid (the next miss scans cold again).
@@ -342,6 +375,7 @@ func (c *ColdCube) Metrics() ColdCacheMetrics {
 		Queries:              s.Queries,
 		CacheHits:            s.CacheHits,
 		Coalesced:            s.Coalesced,
+		Canceled:             s.Canceled,
 		ColdScans:            s.ColdScans,
 		AncestorAggregations: s.AncestorAggregations,
 		RowsScanned:          s.RowsScanned,
